@@ -1,0 +1,133 @@
+// Command ttaatpg runs the stuck-at ATPG flow on a component of the
+// gate-level library and reports pattern counts, fault coverage and the
+// functional-vs-full-scan cycle comparison for that component.
+//
+// Usage:
+//
+//	ttaatpg [-component alu|cmp|rf|ldst|pc|imm|isock|osock] [-width 16]
+//	        [-adder ripple|carry-select] [-regs 8] [-rin 1] [-rout 2]
+//	        [-seed 7] [-podem-only] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/gatelib"
+	"repro/internal/march"
+	"repro/internal/scan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttaatpg: ")
+	component := flag.String("component", "alu", "component: alu, cmp, rf, ldst, pc, imm, isock, osock")
+	width := flag.Int("width", 16, "datapath width in bits")
+	adder := flag.String("adder", "ripple", "ALU adder: ripple or carry-select")
+	regs := flag.Int("regs", 8, "RF register count")
+	rin := flag.Int("rin", 1, "RF write ports")
+	rout := flag.Int("rout", 2, "RF read ports")
+	seed := flag.Int64("seed", 7, "ATPG seed")
+	podemOnly := flag.Bool("podem-only", false, "skip the random-pattern phase")
+	stats := flag.Bool("stats", false, "print netlist statistics")
+	verilog := flag.String("verilog", "", "write the component netlist as structural Verilog to this file ('-' for stdout)")
+	tdf := flag.Bool("tdf", false, "also evaluate transition-delay-fault coverage of the generated set")
+	scoap := flag.Bool("scoap", false, "also print SCOAP testability measures")
+	flag.Parse()
+
+	lib := gatelib.NewLibrary()
+	var comp *gatelib.Component
+	var err error
+	switch *component {
+	case "alu":
+		ak := gatelib.AdderRipple
+		if *adder == "carry-select" {
+			ak = gatelib.AdderCarrySelect
+		}
+		comp, err = lib.ALU(gatelib.ALUConfig{Width: *width, Adder: ak})
+	case "cmp":
+		comp, err = lib.CMP(*width)
+	case "rf":
+		comp, err = lib.RF(gatelib.RFConfig{Width: *width, NumRegs: *regs, NumIn: *rin, NumOut: *rout})
+	case "ldst":
+		comp, err = lib.LDST(*width)
+	case "pc":
+		comp, err = lib.PC(*width)
+	case "imm":
+		comp, err = lib.IMM(*width)
+	case "isock":
+		comp, err = lib.InputSocket(6)
+	case "osock":
+		comp, err = lib.OutputSocket(6)
+	default:
+		log.Fatalf("unknown component %q", *component)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *verilog != "" {
+		out := os.Stdout
+		if *verilog != "-" {
+			f, err := os.Create(*verilog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := comp.Seq.WriteVerilog(out, comp.Name); err != nil {
+			log.Fatal(err)
+		}
+		if *verilog != "-" {
+			fmt.Printf("wrote %s as Verilog to %s\n", comp.Name, *verilog)
+		}
+		return
+	}
+
+	cfg := atpg.Config{Seed: *seed}
+	if *podemOnly {
+		cfg.MaxRandomPatterns = -1
+	}
+	res := atpg.Run(comp.Seq, cfg)
+	nl := scan.ChainLength(comp.Seq)
+	fmt.Printf("component     : %s (%s)\n", comp.Name, comp.Kind)
+	if *stats {
+		fmt.Printf("netlist       : %s\n", comp.Seq.Stats())
+	}
+	fmt.Printf("area          : %.1f NAND2-eq (with scan DfT: %.1f, +%.1f%%)\n",
+		comp.Seq.Area(), comp.Seq.AreaWithScan(),
+		100*scan.AreaOverhead(comp.Seq)/comp.Seq.Area())
+	fmt.Printf("critical path : %.1f gate delays\n", comp.Seq.CriticalPath())
+	fmt.Printf("faults        : %d collapsed (%d raw), %d redundant, %d aborted\n",
+		res.TotalFaults, atpg.NewUniverse(comp.Seq).Uncollapsed, res.Redundant, res.Aborted)
+	fmt.Printf("patterns n_p  : %d after compaction (%d faults dropped randomly, %d PODEM patterns)\n",
+		res.NumPatterns(), res.RandomDetected, res.PodemPatterns)
+	fmt.Printf("fault coverage: %.2f%% (raw %.2f%%)\n", 100*res.Coverage(), 100*res.RawCoverage())
+	fmt.Printf("scan chain n_l: %d flip-flops\n", nl)
+	fmt.Printf("full-scan test: %d cycles\n", scan.TestCycles(res.NumPatterns(), nl))
+	fmt.Printf("functional    : %d cycles at CD=3 (paper eq. 9; no shifting)\n", res.NumPatterns()*3)
+	if comp.Kind == gatelib.KindRF {
+		np := march.MultiPortPatternCount(march.MarchCMinus, *regs, *rin, *rout)
+		fmt.Printf("march C- n_p  : %d word operations (functional RF test)\n", np)
+	}
+	if *tdf {
+		target := comp.Seq
+		if comp.Comb != nil {
+			target = comp.Comb
+			res = atpg.Run(comp.Comb, cfg)
+		}
+		ev := atpg.EvaluateTDF(target, res.Patterns)
+		fmt.Printf("delay faults  : %d/%d transition faults covered by streaming the set (%.1f%%)\n",
+			ev.Detected, ev.Total, 100*ev.Coverage())
+	}
+	if *scoap {
+		s := atpg.ComputeScoap(comp.Seq)
+		sum := s.Summarize()
+		fmt.Printf("SCOAP         : maxCC=%d meanCC=%.1f maxCO=%d meanCO=%.1f\n",
+			sum.MaxCC, sum.MeanCC, sum.MaxCO, sum.MeanCO)
+	}
+}

@@ -1,0 +1,200 @@
+// Command ttadse runs the design and test space exploration of the Crypt
+// application and regenerates the paper's figures 2, 8 and 9 and Table 1.
+//
+// Usage:
+//
+//	ttadse [-fig 2|8] [-table1] [-csv] [-buses 1,2,3,4] [-norm euclid|manhattan|chebyshev]
+//	       [-wa A] [-wt T] [-wc C]
+//
+// Without flags the complete study (both figures, the selection and
+// Table 1) is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/pareto"
+	"repro/internal/report"
+	"repro/internal/tta"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttadse: ")
+	fig := flag.Int("fig", 0, "print only one figure (2 or 8)")
+	table1 := flag.Bool("table1", false, "print only Table 1 for the selected architecture")
+	csv := flag.Bool("csv", false, "emit tables as CSV")
+	busesFlag := flag.String("buses", "", "comma-separated bus counts to explore (default 1,2,3,4)")
+	normFlag := flag.String("norm", "euclid", "selection norm: euclid, manhattan or chebyshev")
+	wa := flag.Float64("wa", 1, "area weight for the selection norm")
+	wt := flag.Float64("wt", 1, "execution-time weight")
+	wc := flag.Float64("wc", 1, "test-cost weight")
+	save := flag.String("save", "", "write the selected architecture as JSON to this file")
+	workload := flag.String("workload", "crypt", "application kernel: crypt, crc16, vecmax, countbelow or checksum")
+	flag.Parse()
+
+	cfg, err := dse.DefaultConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *busesFlag != "" {
+		cfg.Buses = nil
+		for _, s := range strings.Split(*busesFlag, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || b < 1 {
+				log.Fatalf("invalid bus count %q", s)
+			}
+			cfg.Buses = append(cfg.Buses, b)
+		}
+	}
+	if err := setWorkload(&cfg, *workload); err != nil {
+		log.Fatal(err)
+	}
+	study := core.NewStudyWithConfig(cfg)
+	if err := study.Explore(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Optional re-selection under custom weights/norm.
+	if *normFlag != "euclid" || *wa != 1 || *wt != 1 || *wc != 1 {
+		if err := reselect(study, *normFlag, *wa, *wt, *wc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch {
+	case *fig == 2:
+		printTable(study, *csv, study.Figure2Table)
+		if !*csv {
+			mustPrint(study.Figure2Plot())
+		}
+	case *fig == 8:
+		printTable(study, *csv, study.Figure8Table)
+		if !*csv {
+			mustPrint(study.Figure8Plot())
+		}
+	case *table1:
+		printTable(study, *csv, study.Table1)
+	default:
+		printTable(study, *csv, study.Figure2Table)
+		if !*csv {
+			mustPrint(study.Figure2Plot())
+		}
+		fmt.Println()
+		printTable(study, *csv, study.Figure8Table)
+		if !*csv {
+			mustPrint(study.Figure8Plot())
+		}
+		fmt.Println()
+		printTable(study, *csv, study.Table1)
+		fmt.Println()
+		mustPrint(study.Summary())
+		fmt.Println()
+		fmt.Println(tta.Draw(study.SelectedArchitecture()))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tta.SaveJSON(f, study.SelectedArchitecture()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved selected architecture to %s\n", *save)
+	}
+}
+
+// setWorkload swaps the explored application kernel.
+func setWorkload(cfg *dse.Config, name string) error {
+	switch name {
+	case "crypt", "":
+		return nil // the default config already carries the crypt kernel
+	case "crc16":
+		g, err := workloads.CRC16(4, 0x40)
+		if err != nil {
+			return err
+		}
+		cfg.Workload = g
+		cfg.WorkloadReps = 1000
+	case "vecmax":
+		g, err := workloads.VecMax(16, 0x40)
+		if err != nil {
+			return err
+		}
+		cfg.Workload = g
+		cfg.WorkloadReps = 1000
+	case "countbelow":
+		g, err := workloads.CountBelow(12)
+		if err != nil {
+			return err
+		}
+		cfg.Workload = g
+		cfg.WorkloadReps = 1000
+	case "checksum":
+		g, err := workloads.Checksum(8, 0x40)
+		if err != nil {
+			return err
+		}
+		cfg.Workload = g
+		cfg.WorkloadReps = 1000
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	return nil
+}
+
+func reselect(study *core.Study, norm string, wa, wt, wc float64) error {
+	var n pareto.Norm
+	switch norm {
+	case "euclid":
+		n = pareto.Euclid
+	case "manhattan":
+		n = pareto.Manhattan
+	case "chebyshev":
+		n = pareto.Chebyshev
+	default:
+		return fmt.Errorf("unknown norm %q", norm)
+	}
+	var pts []pareto.Point
+	for _, i := range study.Result.Front3D {
+		pts = append(pts, pareto.Point{ID: i, Coords: study.Result.Candidates[i].Coords()})
+	}
+	best, err := pareto.Select(pts, []float64{wa, wt, wc}, n)
+	if err != nil {
+		return err
+	}
+	study.Result.Selected = pts[best].ID
+	return nil
+}
+
+func printTable(study *core.Study, csv bool, gen func() (*report.Table, error)) {
+	_ = study
+	t, err := gen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.Write(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustPrint(s string, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s)
+}

@@ -1,0 +1,134 @@
+// Command ttatest prints the Table-1 test-cost comparison (full scan vs
+// the functional approach) for a TTA architecture: by default the paper's
+// figure-9 architecture, or a custom template described by flags.
+//
+// Usage:
+//
+//	ttatest [-buses 2] [-alus 1] [-cmps 1] [-rfs 8:1:1,12:1:1]
+//	        [-assign spread-first|round-robin|packed] [-csv] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/testcost"
+	"repro/internal/tta"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttatest: ")
+	buses := flag.Int("buses", 2, "MOVE bus count")
+	alus := flag.Int("alus", 1, "ALU count")
+	cmps := flag.Int("cmps", 1, "comparator count")
+	rfs := flag.String("rfs", "8:1:1,12:1:1", "register files as regs:writePorts:readPorts, comma separated")
+	assign := flag.String("assign", "spread-first", "port assignment: spread-first, round-robin or packed")
+	csv := flag.Bool("csv", false, "emit as CSV")
+	seed := flag.Int64("seed", 7, "ATPG seed")
+	fig9 := flag.Bool("fig9", false, "use the paper's figure-9 architecture verbatim")
+	archFile := flag.String("arch", "", "load the architecture from a JSON file (see ttadse -save)")
+	strategies := flag.Bool("strategies", false, "also print the scan/BIST/functional strategy comparison")
+	draw := flag.Bool("draw", false, "render the architecture as an ASCII diagram (figure-9 style)")
+	flag.Parse()
+
+	var arch *tta.Architecture
+	switch {
+	case *archFile != "":
+		f, err := os.Open(*archFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arch, err = tta.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *fig9:
+		arch = tta.Figure9()
+	default:
+		arch = buildArch(*buses, *alus, *cmps, *rfs, *assign)
+	}
+	ann := testcost.NewAnnotator(arch.Width, *seed)
+	tbl, err := core.Table1For(ann, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("architecture: %s\n\n", arch)
+	if *draw {
+		fmt.Println(tta.Draw(arch))
+	}
+	if *csv {
+		err = tbl.WriteCSV(os.Stdout)
+	} else {
+		err = tbl.Write(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *strategies {
+		fmt.Println()
+		st, err := core.StrategyTable(arch, *seed, 8192)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			err = st.WriteCSV(os.Stdout)
+		} else {
+			err = st.Write(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func buildArch(buses, alus, cmps int, rfSpec, assign string) *tta.Architecture {
+	a := &tta.Architecture{Name: "custom", Width: 16, Buses: buses}
+	for i := 0; i < alus; i++ {
+		a.Components = append(a.Components, tta.NewFU(tta.ALU, fmt.Sprintf("ALU%d", i+1)))
+	}
+	for i := 0; i < cmps; i++ {
+		a.Components = append(a.Components, tta.NewFU(tta.CMP, fmt.Sprintf("CMP%d", i+1)))
+	}
+	for i, spec := range strings.Split(rfSpec, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		if len(parts) != 3 {
+			log.Fatalf("bad RF spec %q (want regs:in:out)", spec)
+		}
+		regs := atoi(parts[0])
+		in := atoi(parts[1])
+		out := atoi(parts[2])
+		a.Components = append(a.Components, tta.NewRF(fmt.Sprintf("RF%d", i+1), regs, in, out))
+	}
+	a.Components = append(a.Components,
+		tta.NewFU(tta.LDST, "LD/ST"), tta.NewPC("PC"), tta.NewIMM("Immediate"))
+	strat := tta.SpreadFirst
+	switch assign {
+	case "round-robin":
+		strat = tta.RoundRobin
+	case "packed":
+		strat = tta.Packed
+	case "spread-first":
+	default:
+		log.Fatalf("unknown assignment strategy %q", assign)
+	}
+	tta.AssignPorts(a, strat)
+	if err := a.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+func atoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		log.Fatalf("bad number %q", s)
+	}
+	return v
+}

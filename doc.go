@@ -1,0 +1,9 @@
+// Package repro is a from-scratch reproduction of "Design and Test Space
+// Exploration of Transport-Triggered Architectures" (Zivkovic, Tangelder,
+// Kerkhoff; DATE 2000).
+//
+// The library lives under internal/: see internal/core for the top-level
+// study API, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-vs-measured record. The root-level benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package repro

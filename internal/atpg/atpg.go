@@ -1,0 +1,351 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// Config controls the ATPG driver. The zero value selects sensible
+// defaults; Seed 0 is a valid deterministic seed.
+type Config struct {
+	// Seed drives the random-pattern phase and don't-care fill.
+	Seed int64
+	// MaxRandomPatterns bounds the random phase (default 1024, rounded up
+	// to whole 64-pattern blocks). Zero selects the default; negative
+	// disables the random phase (PODEM-only, the ablation variant).
+	MaxRandomPatterns int
+	// RandomDryBlocks stops the random phase after this many consecutive
+	// blocks without a new detection (default 2).
+	RandomDryBlocks int
+	// BacktrackLimit aborts a PODEM run after this many backtracks
+	// (default 4000).
+	BacktrackLimit int
+	// SkipPODEM runs only the random phase (coverage will be partial).
+	SkipPODEM bool
+	// SkipCompaction keeps the raw pattern list.
+	SkipCompaction bool
+	// SCOAPGuidance steers PODEM's input choices by controllability cost
+	// (the testability-measure ablation of DESIGN.md).
+	SCOAPGuidance bool
+	// Workers bounds the fault-simulation parallelism of the random and
+	// compaction phases (0 = GOMAXPROCS, 1 = serial). Results are
+	// identical at any setting: faults are partitioned disjointly and the
+	// per-fault decisions are independent.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRandomPatterns == 0 {
+		c.MaxRandomPatterns = 1024
+	}
+	if c.RandomDryBlocks == 0 {
+		c.RandomDryBlocks = 2
+	}
+	if c.BacktrackLimit == 0 {
+		c.BacktrackLimit = 4000
+	}
+	return c
+}
+
+// Result reports the outcome of an ATPG run. NumPatterns is the paper's
+// n_p for the circuit.
+type Result struct {
+	Netlist *netlist.Netlist
+	// Patterns is the final (compacted) test set.
+	Patterns []Pattern
+	// TotalFaults is the size of the collapsed fault universe.
+	TotalFaults int
+	// Detected counts collapsed faults covered by Patterns.
+	Detected int
+	// Redundant counts faults proved untestable (PODEM search exhausted).
+	Redundant int
+	// Aborted counts faults abandoned at the backtrack limit.
+	Aborted int
+	// RandomDetected counts faults caught during the random phase.
+	RandomDetected int
+	// PodemPatterns counts deterministic patterns before compaction.
+	PodemPatterns int
+}
+
+// NumPatterns returns n_p, the size of the final test set.
+func (r *Result) NumPatterns() int { return len(r.Patterns) }
+
+// Coverage returns detected / (total - redundant): fault coverage with
+// provably untestable faults excluded, the figure usually quoted by ATPG
+// tools (Table 1's FC column).
+func (r *Result) Coverage() float64 {
+	den := r.TotalFaults - r.Redundant
+	if den <= 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(den)
+}
+
+// RawCoverage returns detected / total over the collapsed universe.
+func (r *Result) RawCoverage() float64 {
+	if r.TotalFaults == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.TotalFaults)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: np=%d faults=%d detected=%d redundant=%d aborted=%d FC=%.2f%%",
+		r.Netlist.Name, r.NumPatterns(), r.TotalFaults, r.Detected, r.Redundant, r.Aborted, 100*r.Coverage())
+}
+
+// Run executes the full ATPG flow on the netlist (full-scan view):
+// a seeded random-pattern phase with fault dropping, deterministic PODEM
+// top-up for the remaining faults, and reverse-order static compaction.
+func Run(n *netlist.Netlist, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := NewUniverse(n)
+	sim := NewSimulator(n)
+	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
+
+	detected := make([]bool, len(u.Faults))
+	var patterns []Pattern
+
+	if cfg.MaxRandomPatterns > 0 {
+		patterns = randomPhase(sim, u, cfg, rng, detected, res)
+	}
+
+	if !cfg.SkipPODEM {
+		eng := newPodem(sim, cfg.BacktrackLimit)
+		if cfg.SCOAPGuidance {
+			eng.scoap = ComputeScoap(n)
+		}
+		for fi := range u.Faults {
+			if detected[fi] {
+				continue
+			}
+			asg, outcome := eng.generate(u.Faults[fi])
+			switch outcome {
+			case podemRedundant:
+				res.Redundant++
+			case podemAborted:
+				res.Aborted++
+			case podemFound:
+				pat := fillPattern(asg, rng)
+				patterns = append(patterns, pat)
+				res.PodemPatterns++
+				// Fault-drop the new pattern against all remaining faults.
+				sim.LoadBlock([]Pattern{pat})
+				for fj := fi; fj < len(u.Faults); fj++ {
+					if !detected[fj] && sim.Detects(u.Faults[fj]) != 0 {
+						detected[fj] = true
+						res.Detected++
+					}
+				}
+				if !detected[fi] {
+					// The generated pattern must detect its target; if it
+					// does not, the engine is inconsistent for this fault —
+					// count it as aborted rather than overstating coverage.
+					res.Aborted++
+				}
+			}
+		}
+	}
+
+	if cfg.SkipCompaction {
+		res.Patterns = patterns
+		return res
+	}
+	res.Patterns = compactReverse(sim, u, patterns, detected, cfg.Workers)
+	return res
+}
+
+// simPool owns one Simulator per worker for parallel serial-fault
+// simulation over disjoint fault ranges.
+type simPool struct {
+	sims []*Simulator
+}
+
+func newSimPool(n *netlist.Netlist, workers int) *simPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &simPool{sims: make([]*Simulator, workers)}
+	for i := range p.sims {
+		p.sims[i] = NewSimulator(n)
+	}
+	return p
+}
+
+// forBlock loads the pattern block into every worker's simulator and calls
+// fn(workerSim, faultIndex) for each fault index in [0, nFaults) from
+// exactly one worker. fn must only touch per-fault state.
+func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(sim *Simulator, fi int)) {
+	if len(p.sims) == 1 {
+		p.sims[0].LoadBlock(block)
+		for fi := 0; fi < nFaults; fi++ {
+			fn(p.sims[0], fi)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (nFaults + len(p.sims) - 1) / len(p.sims)
+	for w := range p.sims {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > nFaults {
+			hi = nFaults
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(sim *Simulator, lo, hi int) {
+			defer wg.Done()
+			sim.LoadBlock(block)
+			for fi := lo; fi < hi; fi++ {
+				fn(sim, fi)
+			}
+		}(p.sims[w], lo, hi)
+	}
+	wg.Wait()
+}
+
+// randomPhase applies seeded random blocks with fault dropping and returns
+// the patterns that were first detectors of at least one fault.
+func randomPhase(sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result) []Pattern {
+	pool := newSimPool(sim.n, cfg.Workers)
+	var kept []Pattern
+	dry := 0
+	total := 0
+	laneOf := make([]int8, len(u.Faults))
+	for total < cfg.MaxRandomPatterns && dry < cfg.RandomDryBlocks {
+		block := make([]Pattern, 64)
+		for k := range block {
+			p := make(Pattern, sim.NumControls())
+			for i := range p {
+				p[i] = uint8(rng.Intn(2))
+			}
+			block[k] = p
+		}
+		total += len(block)
+		for i := range laneOf {
+			laneOf[i] = -1
+		}
+		pool.forBlock(block, len(u.Faults), func(s *Simulator, fi int) {
+			if detected[fi] {
+				return
+			}
+			mask := s.Detects(u.Faults[fi])
+			if mask == 0 {
+				return
+			}
+			lane := int8(0)
+			for mask&1 == 0 {
+				mask >>= 1
+				lane++
+			}
+			laneOf[fi] = lane
+		})
+		laneUseful := uint64(0)
+		newly := 0
+		for fi, lane := range laneOf {
+			if lane < 0 {
+				continue
+			}
+			detected[fi] = true
+			newly++
+			laneUseful |= 1 << uint(lane)
+		}
+		res.Detected += newly
+		res.RandomDetected += newly
+		if newly == 0 {
+			dry++
+			continue
+		}
+		dry = 0
+		for k := range block {
+			if laneUseful>>uint(k)&1 == 1 {
+				kept = append(kept, block[k])
+			}
+		}
+	}
+	return kept
+}
+
+// fillPattern resolves the don't-care positions of a PODEM assignment with
+// random values (improving collateral detection).
+func fillPattern(asg []v3, rng *rand.Rand) Pattern {
+	p := make(Pattern, len(asg))
+	for i, v := range asg {
+		switch v {
+		case v0:
+			p[i] = 0
+		case v1:
+			p[i] = 1
+		default:
+			p[i] = uint8(rng.Intn(2))
+		}
+	}
+	return p
+}
+
+// compactReverse performs reverse-order static compaction: patterns are
+// re-fault-simulated from last to first and kept only if they are the
+// first (in that order) to detect some fault.
+func compactReverse(sim *Simulator, u *Universe, patterns []Pattern, detected []bool, workers int) []Pattern {
+	if len(patterns) == 0 {
+		return patterns
+	}
+	pool := newSimPool(sim.n, workers)
+	reversed := make([]Pattern, len(patterns))
+	for i, p := range patterns {
+		reversed[len(patterns)-1-i] = p
+	}
+	covered := make([]bool, len(u.Faults))
+	useful := make([]bool, len(reversed))
+	laneOf := make([]int8, len(u.Faults))
+	for start := 0; start < len(reversed); start += 64 {
+		end := start + 64
+		if end > len(reversed) {
+			end = len(reversed)
+		}
+		block := reversed[start:end]
+		for i := range laneOf {
+			laneOf[i] = -1
+		}
+		pool.forBlock(block, len(u.Faults), func(s *Simulator, fi int) {
+			if !detected[fi] || covered[fi] {
+				return
+			}
+			mask := s.Detects(u.Faults[fi])
+			if mask == 0 {
+				return
+			}
+			lane := int8(0)
+			for mask&1 == 0 {
+				mask >>= 1
+				lane++
+			}
+			laneOf[fi] = lane
+		})
+		for fi, lane := range laneOf {
+			if lane < 0 {
+				continue
+			}
+			covered[fi] = true
+			useful[start+int(lane)] = true
+		}
+	}
+	var out []Pattern
+	// Restore original ordering among the kept patterns.
+	for i := len(reversed) - 1; i >= 0; i-- {
+		if useful[i] {
+			out = append(out, reversed[i])
+		}
+	}
+	return out
+}

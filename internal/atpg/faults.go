@@ -1,0 +1,120 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// PinOut marks a fault on a gate's output rather than one of its inputs.
+const PinOut int8 = -1
+
+// Fault is a single stuck-at fault at a gate pin: Pin == PinOut places it
+// on the output net, Pin >= 0 on that input pin (affecting only this gate).
+type Fault struct {
+	Gate int32
+	Pin  int8
+	SA   uint8 // stuck-at value, 0 or 1
+}
+
+func (f Fault) String() string {
+	if f.Pin == PinOut {
+		return fmt.Sprintf("g%d.out/sa%d", f.Gate, f.SA)
+	}
+	return fmt.Sprintf("g%d.in%d/sa%d", f.Gate, f.Pin, f.SA)
+}
+
+// Universe is the collapsed fault list of a netlist.
+type Universe struct {
+	N *netlist.Netlist
+	// Faults holds the collapsed fault list (equivalence-class
+	// representatives).
+	Faults []Fault
+	// Uncollapsed is the size of the full pin-fault universe before
+	// equivalence collapsing.
+	Uncollapsed int
+	// classSize[i] is the number of uncollapsed faults represented by
+	// Faults[i].
+	classSize []int
+}
+
+// ClassSize returns how many uncollapsed faults collapse onto Faults[i].
+func (u *Universe) ClassSize(i int) int { return u.classSize[i] }
+
+// NewUniverse enumerates the stuck-at faults of the netlist and collapses
+// intra-gate equivalences:
+//
+//	AND:  input sa0 == output sa0      NAND: input sa0 == output sa1
+//	OR:   input sa1 == output sa1      NOR:  input sa1 == output sa0
+//	BUF:  input saV == output saV      NOT:  input saV == output sa(1-V)
+//
+// Faults on XOR/XNOR/MUX inputs are kept. Constant gates contribute no
+// faults (their output is untestable by construction).
+func NewUniverse(n *netlist.Netlist) *Universe {
+	u := &Universe{N: n}
+	for gi, g := range n.Gates {
+		if g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+			continue
+		}
+		// Output faults always present; they absorb the collapsed input
+		// faults of controlling values.
+		absorbed0, absorbed1 := 0, 0 // input faults absorbed into out-sa0/sa1
+		for pin := range g.In {
+			for _, sa := range []uint8{0, 1} {
+				u.Uncollapsed++
+				if eq, outSA := collapsesToOutput(g.Type, sa); eq {
+					if outSA == 0 {
+						absorbed0++
+					} else {
+						absorbed1++
+					}
+					continue
+				}
+				u.Faults = append(u.Faults, Fault{Gate: int32(gi), Pin: int8(pin), SA: sa})
+				u.classSize = append(u.classSize, 1)
+			}
+		}
+		u.Uncollapsed += 2
+		u.Faults = append(u.Faults, Fault{Gate: int32(gi), Pin: PinOut, SA: 0})
+		u.classSize = append(u.classSize, 1+absorbed0)
+		u.Faults = append(u.Faults, Fault{Gate: int32(gi), Pin: PinOut, SA: 1})
+		u.classSize = append(u.classSize, 1+absorbed1)
+	}
+	return u
+}
+
+// collapsesToOutput reports whether an input stuck-at-sa fault on a gate of
+// type t is equivalent to an output fault, and to which output stuck value.
+func collapsesToOutput(t netlist.GateType, sa uint8) (bool, uint8) {
+	switch t {
+	case netlist.And:
+		if sa == 0 {
+			return true, 0
+		}
+	case netlist.Nand:
+		if sa == 0 {
+			return true, 1
+		}
+	case netlist.Or:
+		if sa == 1 {
+			return true, 1
+		}
+	case netlist.Nor:
+		if sa == 1 {
+			return true, 0
+		}
+	case netlist.Buf:
+		return true, sa
+	case netlist.Not:
+		return true, 1 - sa
+	}
+	return false, 0
+}
+
+// CollapseRatio returns |collapsed| / |uncollapsed|.
+func (u *Universe) CollapseRatio() float64 {
+	if u.Uncollapsed == 0 {
+		return 1
+	}
+	return float64(len(u.Faults)) / float64(u.Uncollapsed)
+}

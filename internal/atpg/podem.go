@@ -1,0 +1,499 @@
+package atpg
+
+import (
+	"repro/internal/netlist"
+)
+
+// podemOutcome classifies the result of a deterministic generation attempt.
+type podemOutcome uint8
+
+// PODEM outcomes.
+const (
+	podemFound podemOutcome = iota
+	podemRedundant
+	podemAborted
+)
+
+// podem holds the working state of one PODEM run. PODEM assigns values only
+// to controllable points; every assignment is followed by a full 5-valued
+// forward implication, so the state is always consistent.
+type podem struct {
+	n          *netlist.Netlist
+	sim        *Simulator
+	fault      Fault
+	vals       []val5 // per net
+	assign     []v3   // per controllable point
+	ctrlOf     []int32
+	limit      int
+	backtracks int
+	// scoap, when non-nil, guides input choices toward the cheapest
+	// controllability (the classic SCOAP-guided backtrace ablation).
+	scoap *Scoap
+
+	// Scratch for the X-path check and the frontier scan.
+	frontier []int32
+	xVisited []bool
+	xStack   []int32
+}
+
+type decision struct {
+	ctrl    int
+	value   v3
+	flipped bool
+}
+
+// newPodem prepares a PODEM engine bound to a simulator's netlist view.
+func newPodem(sim *Simulator, limit int) *podem {
+	n := sim.n
+	p := &podem{
+		n:      n,
+		sim:    sim,
+		vals:   make([]val5, n.NumNets()),
+		assign: make([]v3, len(sim.ctrl)),
+		ctrlOf: make([]int32, n.NumNets()),
+		limit:  limit,
+	}
+	for i := range p.ctrlOf {
+		p.ctrlOf[i] = -1
+	}
+	for ci, net := range sim.ctrl {
+		p.ctrlOf[net] = int32(ci)
+	}
+	p.xVisited = make([]bool, len(n.Gates))
+	return p
+}
+
+// xPathExists reports whether a path of X-valued gate outputs connects any
+// frontier gate to an observable point — the classic PODEM pruning rule: a
+// fault effect that cannot possibly reach an output under the current
+// assignment warrants an immediate backtrack.
+func (p *podem) xPathExists() bool {
+	stack := p.xStack[:0]
+	visited := p.xVisited
+	var touched []int32
+	defer func() {
+		for _, gi := range touched {
+			visited[gi] = false
+		}
+		p.xStack = stack[:0]
+	}()
+	// A frontier gate's own output is a candidate origin (it is X).
+	for _, gi := range p.frontier {
+		if !visited[gi] {
+			visited[gi] = true
+			touched = append(touched, gi)
+			stack = append(stack, gi)
+		}
+	}
+	for len(stack) > 0 {
+		gi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out := p.n.Gates[gi].Out
+		if len(p.sim.obsOfNet[out]) > 0 {
+			return true
+		}
+		for _, ld := range p.sim.fanout[out] {
+			if visited[ld.Gate] {
+				continue
+			}
+			g := &p.n.Gates[ld.Gate]
+			v := p.vals[g.Out]
+			if v.g != vX && v.f != vX {
+				continue // fully determined; a fault effect cannot pass
+			}
+			visited[ld.Gate] = true
+			touched = append(touched, ld.Gate)
+			stack = append(stack, ld.Gate)
+		}
+	}
+	return false
+}
+
+// generate attempts to derive a test for the fault. On success it returns
+// the 3-valued controllable assignment (vX entries are don't-cares).
+func (p *podem) generate(f Fault) ([]v3, podemOutcome) {
+	p.fault = f
+	p.backtracks = 0
+	for i := range p.assign {
+		p.assign[i] = vX
+	}
+	var stack []decision
+
+	for {
+		p.imply()
+		if p.testFound() {
+			out := make([]v3, len(p.assign))
+			copy(out, p.assign)
+			return out, podemFound
+		}
+		objNet, objVal, ok := p.objective()
+		if ok {
+			if ci, v, ok2 := p.backtrace(objNet, objVal); ok2 {
+				p.assign[ci] = v
+				stack = append(stack, decision{ctrl: ci, value: v})
+				continue
+			}
+		}
+		// Conflict: flip the most recent unflipped decision.
+		flipped := false
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.value = notV3(top.value)
+				p.assign[top.ctrl] = top.value
+				flipped = true
+				break
+			}
+			p.assign[top.ctrl] = vX
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return nil, podemRedundant
+		}
+		p.backtracks++
+		if p.backtracks > p.limit {
+			return nil, podemAborted
+		}
+	}
+}
+
+// imply performs full 5-valued forward implication of the current
+// controllable assignment with the fault injected.
+func (p *podem) imply() {
+	n := p.n
+	for i := range p.vals {
+		p.vals[i] = vvX
+	}
+	for ci, net := range p.sim.ctrl {
+		v := p.assign[ci]
+		p.vals[net] = val5{v, v}
+	}
+	f := p.fault
+	for _, gi := range n.TopoOrder() {
+		g := &n.Gates[gi]
+		var out val5
+		if f.Gate == gi && f.Pin >= 0 {
+			out = evalGate5Pin(g, p.vals, int(f.Pin), f.SA)
+		} else {
+			out = evalGate5(g, p.vals)
+		}
+		if f.Gate == gi && f.Pin == PinOut {
+			out.f = v3(f.SA)
+		}
+		p.vals[g.Out] = out
+	}
+}
+
+func evalGate5(g *netlist.Gate, vals []val5) val5 {
+	switch g.Type {
+	case netlist.Const0:
+		return vv0
+	case netlist.Const1:
+		return vv1
+	case netlist.Buf:
+		return vals[g.In[0]]
+	case netlist.Not:
+		v := vals[g.In[0]]
+		return val5{notV3(v.g), notV3(v.f)}
+	case netlist.And, netlist.Nand:
+		acc := val5{v1, v1}
+		for _, in := range g.In {
+			v := vals[in]
+			acc = val5{andV3(acc.g, v.g), andV3(acc.f, v.f)}
+		}
+		if g.Type == netlist.Nand {
+			acc = val5{notV3(acc.g), notV3(acc.f)}
+		}
+		return acc
+	case netlist.Or, netlist.Nor:
+		acc := val5{v0, v0}
+		for _, in := range g.In {
+			v := vals[in]
+			acc = val5{orV3(acc.g, v.g), orV3(acc.f, v.f)}
+		}
+		if g.Type == netlist.Nor {
+			acc = val5{notV3(acc.g), notV3(acc.f)}
+		}
+		return acc
+	case netlist.Xor, netlist.Xnor:
+		acc := val5{v0, v0}
+		for _, in := range g.In {
+			v := vals[in]
+			acc = val5{xorV3(acc.g, v.g), xorV3(acc.f, v.f)}
+		}
+		if g.Type == netlist.Xnor {
+			acc = val5{notV3(acc.g), notV3(acc.f)}
+		}
+		return acc
+	default: // Mux2
+		sel, a0, a1 := vals[g.In[0]], vals[g.In[1]], vals[g.In[2]]
+		return val5{muxV3(sel.g, a0.g, a1.g), muxV3(sel.f, a0.f, a1.f)}
+	}
+}
+
+// evalGate5Pin evaluates a gate whose input pin carries the fault: the
+// faulty component of that pin is forced to the stuck value.
+func evalGate5Pin(g *netlist.Gate, vals []val5, pin int, sa uint8) val5 {
+	tmp := make([]val5, len(g.In))
+	for i, in := range g.In {
+		tmp[i] = vals[in]
+	}
+	tmp[pin].f = v3(sa)
+	// Evaluate over tmp with a scratch gate referencing local indices.
+	scratch := netlist.Gate{Type: g.Type, In: make([]netlist.Net, len(g.In))}
+	for i := range scratch.In {
+		scratch.In[i] = netlist.Net(i)
+	}
+	return evalGate5(&scratch, tmp)
+}
+
+// testFound reports whether a fault effect has reached an observable point.
+func (p *podem) testFound() bool {
+	for _, o := range p.sim.obs {
+		if p.vals[o].hasFaultEffect() {
+			return true
+		}
+	}
+	return false
+}
+
+// objective returns the next (net, value) goal: activate the fault if it is
+// not activated yet, otherwise advance the D-frontier.
+func (p *podem) objective() (netlist.Net, v3, bool) {
+	site := p.faultSiteNet()
+	sv := p.vals[site]
+	want := notV3(v3(p.fault.SA))
+	if sv.g == vX {
+		return site, want, true
+	}
+	if sv.g != want {
+		return 0, v0, false // activation impossible under current assignment
+	}
+	// D-frontier: every gate with a fault effect on an input and an
+	// unknown output; the objective advances the deepest member.
+	n := p.n
+	p.frontier = p.frontier[:0]
+	for _, gi := range n.TopoOrder() {
+		g := &n.Gates[gi]
+		if p.vals[g.Out].g != vX && p.vals[g.Out].f != vX {
+			continue
+		}
+		hasD := false
+		for _, in := range g.In {
+			if p.vals[in].hasFaultEffect() {
+				hasD = true
+				break
+			}
+		}
+		// An input-pin fault makes its own gate part of the frontier even
+		// though no net carries a fault effect yet.
+		if gi == p.fault.Gate && p.fault.Pin >= 0 {
+			hasD = true
+		}
+		if hasD {
+			p.frontier = append(p.frontier, gi)
+		}
+	}
+	if len(p.frontier) == 0 {
+		return 0, v0, false
+	}
+	// X-path pruning: if no all-X corridor links the frontier to an
+	// observable, this branch is hopeless.
+	if !p.xPathExists() {
+		return 0, v0, false
+	}
+	return p.frontierObjective(p.frontier[len(p.frontier)-1])
+}
+
+// frontierObjective chooses the side input and value needed to propagate a
+// fault effect through the gate.
+func (p *podem) frontierObjective(gi int32) (netlist.Net, v3, bool) {
+	g := &p.n.Gates[gi]
+	dpin := int8(-1) // pseudo-D pin for an input-pin fault on this gate
+	if gi == p.fault.Gate && p.fault.Pin >= 0 {
+		dpin = p.fault.Pin
+	}
+	switch g.Type {
+	case netlist.And, netlist.Nand:
+		return p.firstXInput(g, v1)
+	case netlist.Or, netlist.Nor:
+		return p.firstXInput(g, v0)
+	case netlist.Xor, netlist.Xnor:
+		return p.firstXInput(g, v0)
+	case netlist.Mux2:
+		sel, a0, a1 := p.vals[g.In[0]], p.vals[g.In[1]], p.vals[g.In[2]]
+		switch {
+		case (a0.hasFaultEffect() || dpin == 1) && sel.g == vX:
+			return g.In[0], v0, true
+		case (a1.hasFaultEffect() || dpin == 2) && sel.g == vX:
+			return g.In[0], v1, true
+		case sel.hasFaultEffect() || dpin == 0:
+			// Data inputs must differ to propagate a select fault.
+			if a0.g == vX {
+				if a1.g != vX {
+					return g.In[1], notV3(a1.g), true
+				}
+				return g.In[1], v0, true
+			}
+			if a1.g == vX {
+				return g.In[2], notV3(a0.g), true
+			}
+			return 0, v0, false
+		default:
+			return 0, v0, false
+		}
+	default:
+		return 0, v0, false
+	}
+}
+
+func (p *podem) firstXInput(g *netlist.Gate, want v3) (netlist.Net, v3, bool) {
+	best := netlist.InvalidNet
+	bestCost := int32(1) << 30
+	for _, in := range g.In {
+		if p.vals[in].g != vX || p.vals[in].hasFaultEffect() {
+			continue
+		}
+		if p.scoap == nil {
+			return in, want, true
+		}
+		cost := p.scoap.CC1[in]
+		if want == v0 {
+			cost = p.scoap.CC0[in]
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = in
+		}
+	}
+	if best == netlist.InvalidNet {
+		return 0, v0, false
+	}
+	return best, want, true
+}
+
+// faultSiteNet returns the net whose good value must be set opposite to the
+// stuck value to activate the fault.
+func (p *podem) faultSiteNet() netlist.Net {
+	g := &p.n.Gates[p.fault.Gate]
+	if p.fault.Pin == PinOut {
+		return g.Out
+	}
+	return g.In[p.fault.Pin]
+}
+
+// backtrace walks an objective (net, value) backwards through X paths to an
+// unassigned controllable point and returns the implied assignment.
+func (p *podem) backtrace(net netlist.Net, want v3) (int, v3, bool) {
+	n := p.n
+	for {
+		if ci := p.ctrlOf[net]; ci >= 0 {
+			if p.assign[ci] != vX {
+				return 0, v0, false
+			}
+			return int(ci), want, true
+		}
+		drv := n.Driver(net)
+		if drv.Kind != netlist.DriverGate {
+			return 0, v0, false
+		}
+		g := &n.Gates[drv.Index]
+		switch g.Type {
+		case netlist.Const0, netlist.Const1:
+			return 0, v0, false
+		case netlist.Buf:
+			net = g.In[0]
+		case netlist.Not:
+			net = g.In[0]
+			want = notV3(want)
+		case netlist.And, netlist.Or:
+			in, ok := p.pickXInput(g)
+			if !ok {
+				return 0, v0, false
+			}
+			net = in
+		case netlist.Nand, netlist.Nor:
+			in, ok := p.pickXInput(g)
+			if !ok {
+				return 0, v0, false
+			}
+			net = in
+			want = notV3(want)
+		case netlist.Xor, netlist.Xnor:
+			in, ok := p.pickXInput(g)
+			if !ok {
+				return 0, v0, false
+			}
+			// Desired parity of the chosen input given known co-inputs
+			// (unknown co-inputs counted as 0 — heuristic, validated by the
+			// following implication).
+			acc := want
+			if g.Type == netlist.Xnor {
+				acc = notV3(acc)
+			}
+			for _, other := range g.In {
+				if other == in {
+					continue
+				}
+				if v := p.vals[other].g; v == v1 {
+					acc = notV3(acc)
+				}
+			}
+			net = in
+			want = acc
+		case netlist.Mux2:
+			sel := p.vals[g.In[0]]
+			switch sel.g {
+			case v0:
+				net = g.In[1]
+			case v1:
+				net = g.In[2]
+			default:
+				// Prefer steering toward a data input that already has the
+				// wanted value; otherwise resolve the select first.
+				if p.vals[g.In[1]].g == want {
+					net, want = g.In[0], v0
+				} else if p.vals[g.In[2]].g == want {
+					net, want = g.In[0], v1
+				} else if p.vals[g.In[1]].g == vX {
+					net = g.In[1]
+				} else if p.vals[g.In[2]].g == vX {
+					net = g.In[2]
+				} else {
+					net = g.In[0]
+					want = v0
+				}
+			}
+		default:
+			return 0, v0, false
+		}
+	}
+}
+
+// pickXInput returns an input with unknown good value — the first one, or
+// the cheapest-to-control one under SCOAP guidance.
+func (p *podem) pickXInput(g *netlist.Gate) (netlist.Net, bool) {
+	best := netlist.InvalidNet
+	bestCost := int32(1) << 30
+	for _, in := range g.In {
+		if p.vals[in].g != vX {
+			continue
+		}
+		if p.scoap == nil {
+			return in, true
+		}
+		cost := p.scoap.CC0[in]
+		if p.scoap.CC1[in] < cost {
+			cost = p.scoap.CC1[in]
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = in
+		}
+	}
+	if best == netlist.InvalidNet {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,257 @@
+package atpg
+
+import "repro/internal/netlist"
+
+// SCOAP testability analysis (Goldstein's combinational measures), in the
+// full-scan view used throughout this package: primary inputs and
+// flip-flop Q outputs are perfectly controllable, primary outputs and
+// flip-flop D inputs perfectly observable. The paper's discussion of
+// testability measures ([8], [9]) motivates this module: the measures are
+// computed per net, summarized per component, optionally used to guide
+// PODEM's backtrace, and correlated with random-pattern resistance.
+
+// Scoap holds the per-net measures: CC0/CC1 are the controllability costs
+// of forcing the net to 0/1, CO the observability cost of propagating its
+// value to an observable point. Higher is harder.
+type Scoap struct {
+	N   *netlist.Netlist
+	CC0 []int32
+	CC1 []int32
+	CO  []int32
+}
+
+const scoapInf = int32(1) << 28
+
+// ComputeScoap evaluates the SCOAP measures for every net.
+func ComputeScoap(n *netlist.Netlist) *Scoap {
+	s := &Scoap{
+		N:   n,
+		CC0: make([]int32, n.NumNets()),
+		CC1: make([]int32, n.NumNets()),
+		CO:  make([]int32, n.NumNets()),
+	}
+	for i := range s.CC0 {
+		s.CC0[i] = scoapInf
+		s.CC1[i] = scoapInf
+		s.CO[i] = scoapInf
+	}
+	for _, pi := range n.PIs {
+		s.CC0[pi], s.CC1[pi] = 1, 1
+	}
+	for _, ff := range n.FFs {
+		s.CC0[ff.Q], s.CC1[ff.Q] = 1, 1
+	}
+	// Controllability: forward pass in topological order.
+	for _, gi := range n.TopoOrder() {
+		g := &n.Gates[gi]
+		s.CC0[g.Out], s.CC1[g.Out] = gateCC(s, g)
+	}
+	// Observability: backward pass.
+	for _, po := range n.POs {
+		s.CO[po] = 0
+	}
+	for _, ff := range n.FFs {
+		if s.CO[ff.D] > 0 {
+			s.CO[ff.D] = 0
+		}
+	}
+	order := n.TopoOrder()
+	for k := len(order) - 1; k >= 0; k-- {
+		g := &n.Gates[order[k]]
+		outCO := s.CO[g.Out]
+		if outCO >= scoapInf {
+			continue
+		}
+		for pin, in := range g.In {
+			co := pinCO(s, g, pin, outCO)
+			if co < s.CO[in] {
+				s.CO[in] = co // fanout stems take the cheapest branch
+			}
+		}
+	}
+	return s
+}
+
+func satAdd(a, b int32) int32 {
+	c := a + b
+	if c > scoapInf {
+		return scoapInf
+	}
+	return c
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gateCC computes (CC0, CC1) of a gate output from its inputs.
+func gateCC(s *Scoap, g *netlist.Gate) (int32, int32) {
+	switch g.Type {
+	case netlist.Const0:
+		return 1, scoapInf
+	case netlist.Const1:
+		return scoapInf, 1
+	case netlist.Buf:
+		return satAdd(s.CC0[g.In[0]], 1), satAdd(s.CC1[g.In[0]], 1)
+	case netlist.Not:
+		return satAdd(s.CC1[g.In[0]], 1), satAdd(s.CC0[g.In[0]], 1)
+	case netlist.And, netlist.Nand:
+		all1 := int32(0)
+		min0 := scoapInf
+		for _, in := range g.In {
+			all1 = satAdd(all1, s.CC1[in])
+			min0 = min32(min0, s.CC0[in])
+		}
+		c0 := satAdd(min0, 1) // any input at 0
+		c1 := satAdd(all1, 1) // all inputs at 1
+		if g.Type == netlist.Nand {
+			return c1, c0
+		}
+		return c0, c1
+	case netlist.Or, netlist.Nor:
+		all0 := int32(0)
+		min1 := scoapInf
+		for _, in := range g.In {
+			all0 = satAdd(all0, s.CC0[in])
+			min1 = min32(min1, s.CC1[in])
+		}
+		c0 := satAdd(all0, 1)
+		c1 := satAdd(min1, 1)
+		if g.Type == netlist.Nor {
+			return c1, c0
+		}
+		return c0, c1
+	case netlist.Xor, netlist.Xnor:
+		// Dynamic programming over parity: cost of achieving even/odd
+		// parity across the inputs.
+		even, odd := int32(0), scoapInf
+		for _, in := range g.In {
+			e2 := min32(satAdd(even, s.CC0[in]), satAdd(odd, s.CC1[in]))
+			o2 := min32(satAdd(even, s.CC1[in]), satAdd(odd, s.CC0[in]))
+			even, odd = e2, o2
+		}
+		c0 := satAdd(even, 1)
+		c1 := satAdd(odd, 1)
+		if g.Type == netlist.Xnor {
+			return c1, c0
+		}
+		return c0, c1
+	case netlist.Mux2:
+		sel, a0, a1 := g.In[0], g.In[1], g.In[2]
+		// 0 via (sel=0, a0=0) or (sel=1, a1=0); dually for 1.
+		c0 := min32(satAdd(s.CC0[sel], s.CC0[a0]), satAdd(s.CC1[sel], s.CC0[a1]))
+		c1 := min32(satAdd(s.CC0[sel], s.CC1[a0]), satAdd(s.CC1[sel], s.CC1[a1]))
+		return satAdd(c0, 1), satAdd(c1, 1)
+	default:
+		return scoapInf, scoapInf
+	}
+}
+
+// pinCO computes the observability of input pin `pin` through the gate.
+func pinCO(s *Scoap, g *netlist.Gate, pin int, outCO int32) int32 {
+	cost := satAdd(outCO, 1)
+	switch g.Type {
+	case netlist.Buf, netlist.Not:
+		return cost
+	case netlist.And, netlist.Nand:
+		for j, in := range g.In {
+			if j != pin {
+				cost = satAdd(cost, s.CC1[in]) // side inputs non-controlling
+			}
+		}
+		return cost
+	case netlist.Or, netlist.Nor:
+		for j, in := range g.In {
+			if j != pin {
+				cost = satAdd(cost, s.CC0[in])
+			}
+		}
+		return cost
+	case netlist.Xor, netlist.Xnor:
+		for j, in := range g.In {
+			if j != pin {
+				cost = satAdd(cost, min32(s.CC0[in], s.CC1[in]))
+			}
+		}
+		return cost
+	case netlist.Mux2:
+		sel, a0, a1 := g.In[0], g.In[1], g.In[2]
+		switch pin {
+		case 0: // select observable when the data inputs differ
+			d := min32(satAdd(s.CC0[a0], s.CC1[a1]), satAdd(s.CC1[a0], s.CC0[a1]))
+			return satAdd(cost, d)
+		case 1:
+			return satAdd(cost, s.CC0[sel])
+		default:
+			return satAdd(cost, s.CC1[sel])
+		}
+	default:
+		return scoapInf
+	}
+}
+
+// FaultCost estimates how hard a stuck-at fault is to test: the cost of
+// forcing the site to the opposite value plus the cost of observing it.
+func (s *Scoap) FaultCost(f Fault) int32 {
+	g := &s.N.Gates[f.Gate]
+	site := g.Out
+	if f.Pin >= 0 {
+		site = g.In[f.Pin]
+	}
+	var activate int32
+	if f.SA == 0 {
+		activate = s.CC1[site]
+	} else {
+		activate = s.CC0[site]
+	}
+	observe := s.CO[site]
+	if f.Pin >= 0 {
+		// Pin faults observe through this specific gate.
+		observe = pinCO(s, g, int(f.Pin), s.CO[g.Out])
+	}
+	return satAdd(activate, observe)
+}
+
+// Summary aggregates the measures over a netlist.
+type ScoapSummary struct {
+	MaxCC  int32
+	MeanCC float64
+	MaxCO  int32
+	MeanCO float64
+}
+
+// Summarize reports aggregate controllability/observability over all
+// gate-output nets.
+func (s *Scoap) Summarize() ScoapSummary {
+	var sum ScoapSummary
+	nCC, nCO := 0, 0
+	var accCC, accCO float64
+	for _, g := range s.N.Gates {
+		cc := min32(s.CC0[g.Out], s.CC1[g.Out])
+		if cc < scoapInf {
+			accCC += float64(cc)
+			nCC++
+			if cc > sum.MaxCC {
+				sum.MaxCC = cc
+			}
+		}
+		co := s.CO[g.Out]
+		if co < scoapInf {
+			accCO += float64(co)
+			nCO++
+			if co > sum.MaxCO {
+				sum.MaxCO = co
+			}
+		}
+	}
+	if nCC > 0 {
+		sum.MeanCC = accCC / float64(nCC)
+	}
+	if nCO > 0 {
+		sum.MeanCO = accCO / float64(nCO)
+	}
+	return sum
+}

@@ -1,0 +1,147 @@
+package atpg
+
+import "repro/internal/netlist"
+
+// Transition-delay-fault (TDF) evaluation. The paper argues that the
+// functional application of the structural patterns "may also be used for
+// delay fault tests, since it basically checks not only the structure of
+// the components but also their timing relations": consecutive patterns
+// stream through the O/T registers back to back, so each adjacent pair
+// (v1, v2) is a launch/capture pair. A slow-to-rise fault at a node
+// behaves as stuck-at-0 under v2 provided v1 left the node at 0 (dually
+// for slow-to-fall), which reduces TDF detection to the stuck-at
+// machinery plus an initialization condition.
+
+// TDFault is a transition fault at a gate output.
+type TDFault struct {
+	Gate       int32
+	SlowToRise bool
+}
+
+// TDFUniverse enumerates the transition faults: one slow-to-rise and one
+// slow-to-fall per non-constant gate output.
+func TDFUniverse(n *netlist.Netlist) []TDFault {
+	var out []TDFault
+	for gi, g := range n.Gates {
+		if g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+			continue
+		}
+		out = append(out,
+			TDFault{Gate: int32(gi), SlowToRise: true},
+			TDFault{Gate: int32(gi), SlowToRise: false})
+	}
+	return out
+}
+
+// TDFResult reports transition-fault coverage of an ordered pattern
+// sequence.
+type TDFResult struct {
+	Total    int
+	Detected int
+	Pairs    int // launch/capture pairs evaluated (len(patterns)-1)
+}
+
+// Coverage returns detected/total.
+func (r *TDFResult) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// EvaluateTDF measures which transition faults the ordered pattern
+// sequence detects when applied back to back. Blocks overlap by one
+// pattern so every adjacent pair is considered.
+func EvaluateTDF(n *netlist.Netlist, patterns []Pattern) *TDFResult {
+	faults := TDFUniverse(n)
+	res := &TDFResult{Total: len(faults)}
+	if len(patterns) < 2 {
+		return res
+	}
+	res.Pairs = len(patterns) - 1
+	sim := NewSimulator(n)
+	detected := make([]bool, len(faults))
+
+	for start := 0; start < len(patterns)-1; start += 63 {
+		end := start + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		block := patterns[start:end]
+		sim.LoadBlock(block)
+		// Good node values per lane for the initialization condition.
+		nLanes := len(block)
+		for fi, f := range faults {
+			if detected[fi] {
+				continue
+			}
+			out := n.Gates[f.Gate].Out
+			goodW := sim.GoodResponse(out)
+			var sa uint8
+			var initMask uint64
+			if f.SlowToRise {
+				sa = 0
+				initMask = ^goodW // lanes where the node is 0
+			} else {
+				sa = 1
+				initMask = goodW
+			}
+			det := sim.Detects(Fault{Gate: f.Gate, Pin: PinOut, SA: sa})
+			// Pair (k-1, k): node initialized by lane k-1, fault effect
+			// captured by lane k.
+			hit := det & (initMask << 1)
+			if nLanes < 64 {
+				hit &= uint64(1)<<uint(nLanes) - 1
+			}
+			// Lane 0 of a block pairs with the previous block's last lane
+			// (blocks overlap by one, so that pair is already covered as
+			// lanes 62/63 of the previous block); mask it out here.
+			hit &^= 1
+			if hit != 0 {
+				detected[fi] = true
+				res.Detected++
+			}
+		}
+	}
+	return res
+}
+
+// OrderForTDF greedily reorders a pattern set to maximize toggling between
+// neighbours (maximum Hamming distance successor), a cheap heuristic that
+// raises transition-launch opportunities without new patterns.
+func OrderForTDF(patterns []Pattern) []Pattern {
+	if len(patterns) <= 2 {
+		return append([]Pattern(nil), patterns...)
+	}
+	used := make([]bool, len(patterns))
+	out := make([]Pattern, 0, len(patterns))
+	cur := 0
+	used[0] = true
+	out = append(out, patterns[0])
+	for len(out) < len(patterns) {
+		best, bestD := -1, -1
+		for i := range patterns {
+			if used[i] {
+				continue
+			}
+			d := hamming(patterns[cur], patterns[i])
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		used[best] = true
+		out = append(out, patterns[best])
+		cur = best
+	}
+	return out
+}
+
+func hamming(a, b Pattern) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}

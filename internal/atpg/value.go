@@ -1,0 +1,119 @@
+// Package atpg implements single-stuck-at test pattern generation for the
+// gate-level component library: fault universe construction with
+// equivalence collapsing, 64-way parallel-pattern fault simulation, a
+// 5-valued PODEM deterministic generator, and a driver that combines a
+// random-pattern phase, deterministic top-up and reverse-order compaction.
+//
+// All circuits are handled in the full-scan view: primary inputs and
+// flip-flop Q outputs are controllable, primary outputs and flip-flop D
+// inputs are observable. For TTA components this is exactly the functional
+// view as well — the O, T and R registers sit on the MOVE buses, which is
+// the paper's reason the same structural patterns can be applied without
+// scan chains.
+package atpg
+
+// v3 is a 3-valued logic value: 0, 1 or unknown.
+type v3 uint8
+
+// 3-valued constants.
+const (
+	v0 v3 = 0
+	v1 v3 = 1
+	vX v3 = 2
+)
+
+func (v v3) String() string {
+	switch v {
+	case v0:
+		return "0"
+	case v1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+func notV3(a v3) v3 {
+	switch a {
+	case v0:
+		return v1
+	case v1:
+		return v0
+	default:
+		return vX
+	}
+}
+
+func andV3(a, b v3) v3 {
+	if a == v0 || b == v0 {
+		return v0
+	}
+	if a == vX || b == vX {
+		return vX
+	}
+	return v1
+}
+
+func orV3(a, b v3) v3 {
+	if a == v1 || b == v1 {
+		return v1
+	}
+	if a == vX || b == vX {
+		return vX
+	}
+	return v0
+}
+
+func xorV3(a, b v3) v3 {
+	if a == vX || b == vX {
+		return vX
+	}
+	return a ^ b
+}
+
+func muxV3(sel, a0, a1 v3) v3 {
+	switch sel {
+	case v0:
+		return a0
+	case v1:
+		return a1
+	default:
+		if a0 == a1 && a0 != vX {
+			return a0
+		}
+		return vX
+	}
+}
+
+// val5 is the composite good/faulty pair used by PODEM's D-calculus:
+// D = (good 1, faulty 0), D' = (good 0, faulty 1).
+type val5 struct {
+	g v3 // good-machine component
+	f v3 // faulty-machine component
+}
+
+var (
+	vv0 = val5{v0, v0}
+	vv1 = val5{v1, v1}
+	vvX = val5{vX, vX}
+)
+
+func (v val5) isD() bool    { return v.g == v1 && v.f == v0 }
+func (v val5) isDbar() bool { return v.g == v0 && v.f == v1 }
+
+// hasFaultEffect reports whether the good and faulty components are both
+// known and differ.
+func (v val5) hasFaultEffect() bool { return v.isD() || v.isDbar() }
+
+func (v val5) String() string {
+	switch {
+	case v.isD():
+		return "D"
+	case v.isDbar():
+		return "D'"
+	case v.g == v.f:
+		return v.g.String()
+	default:
+		return v.g.String() + "/" + v.f.String()
+	}
+}

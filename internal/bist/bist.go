@@ -1,0 +1,247 @@
+// Package bist implements the built-in self-test alternative the paper
+// cites (Gizopoulos et al. [13]) and argues against for TTAs: an LFSR
+// pseudo-random pattern generator and a MISR response compactor wrapped
+// around a datapath component. It provides both software models and
+// gate-level netlist generators, measures pseudo-random fault coverage as
+// a function of pattern count, and quantifies the area/test-time trade
+// against full scan and the paper's functional approach.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+// MaximalTaps maps register widths to tap sets of maximal-length
+// polynomials (Fibonacci form; taps are 1-based bit positions, the
+// highest equal to the width).
+var MaximalTaps = map[int][]int{
+	4:  {4, 3},
+	8:  {8, 6, 5, 4},
+	16: {16, 15, 13, 4},
+	24: {24, 23, 22, 17},
+	32: {32, 22, 2, 1},
+}
+
+// LFSR is the software model of a Fibonacci linear-feedback shift
+// register.
+type LFSR struct {
+	Width int
+	Taps  []int
+	State uint64
+}
+
+// NewLFSR builds an LFSR with a maximal-length polynomial for the width.
+func NewLFSR(width int, seed uint64) (*LFSR, error) {
+	taps, ok := MaximalTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("bist: no maximal polynomial recorded for width %d", width)
+	}
+	mask := uint64(1)<<uint(width) - 1
+	seed &= mask
+	if seed == 0 {
+		seed = 1 // the all-zero state is the LFSR's fixed point
+	}
+	return &LFSR{Width: width, Taps: taps, State: seed}, nil
+}
+
+// Step advances one cycle and returns the new state.
+func (l *LFSR) Step() uint64 {
+	fb := uint64(0)
+	for _, t := range l.Taps {
+		fb ^= l.State >> uint(t-1) & 1
+	}
+	l.State = (l.State<<1 | fb) & (uint64(1)<<uint(l.Width) - 1)
+	return l.State
+}
+
+// Period runs the register until the initial state recurs (careful: up to
+// 2^width-1 steps).
+func (l *LFSR) Period() int {
+	start := l.State
+	n := 0
+	for {
+		l.Step()
+		n++
+		if l.State == start || n > 1<<uint(l.Width) {
+			return n
+		}
+	}
+}
+
+// MISR is the software model of a multiple-input signature register: each
+// cycle the response word is XORed into the shifting state.
+type MISR struct {
+	Width int
+	Taps  []int
+	State uint64
+}
+
+// NewMISR builds a MISR with a maximal-length polynomial.
+func NewMISR(width int) (*MISR, error) {
+	taps, ok := MaximalTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("bist: no maximal polynomial recorded for width %d", width)
+	}
+	return &MISR{Width: width, Taps: taps}, nil
+}
+
+// Absorb folds one response word into the signature.
+func (m *MISR) Absorb(word uint64) {
+	fb := uint64(0)
+	for _, t := range m.Taps {
+		fb ^= m.State >> uint(t-1) & 1
+	}
+	mask := uint64(1)<<uint(m.Width) - 1
+	m.State = ((m.State<<1 | fb) ^ word) & mask
+}
+
+// Signature returns the accumulated signature.
+func (m *MISR) Signature() uint64 { return m.State }
+
+// BuildLFSR emits the LFSR as a gate-level netlist (ports: none in,
+// "state" out) — the hardware the BIST scheme adds next to the component.
+func BuildLFSR(width int, seed uint64) (*netlist.Netlist, error) {
+	taps, ok := MaximalTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("bist: no maximal polynomial recorded for width %d", width)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("lfsr%d", width))
+	q := make([]netlist.Net, width)
+	ffs := make([]int, width)
+	for i := 0; i < width; i++ {
+		q[i], ffs[i] = b.FFDecl(fmt.Sprintf("l%d", i), seed>>uint(i)&1 == 1)
+	}
+	fbTerms := make([]netlist.Net, len(taps))
+	for i, t := range taps {
+		fbTerms[i] = q[t-1]
+	}
+	fb := b.Xor(fbTerms...)
+	b.SetD(ffs[0], fb)
+	for i := 1; i < width; i++ {
+		b.SetD(ffs[i], q[i-1])
+	}
+	b.OutputBus("state", q)
+	return b.Build()
+}
+
+// BuildMISR emits the MISR netlist (ports: "in" data word; "sig" out).
+func BuildMISR(width int) (*netlist.Netlist, error) {
+	taps, ok := MaximalTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("bist: no maximal polynomial recorded for width %d", width)
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("misr%d", width))
+	in := b.InputBus("in", width)
+	q := make([]netlist.Net, width)
+	ffs := make([]int, width)
+	for i := 0; i < width; i++ {
+		q[i], ffs[i] = b.FFDecl(fmt.Sprintf("m%d", i), false)
+	}
+	fbTerms := make([]netlist.Net, len(taps))
+	for i, t := range taps {
+		fbTerms[i] = q[t-1]
+	}
+	fb := b.Xor(fbTerms...)
+	b.SetD(ffs[0], b.Xor(fb, in[0]))
+	for i := 1; i < width; i++ {
+		b.SetD(ffs[i], b.Xor(q[i-1], in[i]))
+	}
+	b.OutputBus("sig", q)
+	return b.Build()
+}
+
+// CoveragePoint is one sample of the pseudo-random coverage curve.
+type CoveragePoint struct {
+	Patterns int
+	Coverage float64
+}
+
+// Evaluation reports a BIST assessment of one component.
+type Evaluation struct {
+	Component string
+	// Curve samples coverage after exponentially growing pattern counts.
+	Curve []CoveragePoint
+	// PatternsToTarget is the pattern count first reaching TargetCoverage
+	// (-1 if never reached within the budget).
+	PatternsToTarget int
+	TargetCoverage   float64
+	// FinalCoverage after the full budget.
+	FinalCoverage float64
+	// AreaOverhead is the LFSR+MISR cell area added by the scheme.
+	AreaOverhead float64
+	// TestCycles equals the pattern budget: BIST applies one pattern per
+	// cycle, its selling point.
+	TestCycles int
+}
+
+// Evaluate measures pseudo-random stuck-at coverage of the circuit (scan
+// view) fed from a 16-bit LFSR whose successive states are concatenated to
+// fill the controllable points.
+func Evaluate(n *netlist.Netlist, target float64, budget int, seed uint64) (*Evaluation, error) {
+	lfsr, err := NewLFSR(16, seed)
+	if err != nil {
+		return nil, err
+	}
+	sim := atpg.NewSimulator(n)
+	u := atpg.NewUniverse(n)
+	detected := make([]bool, len(u.Faults))
+	nDet := 0
+
+	lfsrHW, err := BuildLFSR(16, seed)
+	if err != nil {
+		return nil, err
+	}
+	misrHW, err := BuildMISR(16)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{
+		Component:        n.Name,
+		TargetCoverage:   target,
+		PatternsToTarget: -1,
+		AreaOverhead:     lfsrHW.Area() + misrHW.Area(),
+		TestCycles:       budget,
+	}
+
+	nc := sim.NumControls()
+	applied := 0
+	nextSample := 64
+	for applied < budget {
+		block := make([]atpg.Pattern, 0, 64)
+		for k := 0; k < 64 && applied+k < budget; k++ {
+			p := make(atpg.Pattern, nc)
+			var word uint64
+			for i := 0; i < nc; i++ {
+				if i%16 == 0 {
+					word = lfsr.Step()
+				}
+				p[i] = uint8(word >> uint(i%16) & 1)
+			}
+			block = append(block, p)
+		}
+		sim.LoadBlock(block)
+		for fi := range u.Faults {
+			if !detected[fi] && sim.Detects(u.Faults[fi]) != 0 {
+				detected[fi] = true
+				nDet++
+			}
+		}
+		applied += len(block)
+		cov := float64(nDet) / float64(len(u.Faults))
+		if applied >= nextSample || applied >= budget {
+			ev.Curve = append(ev.Curve, CoveragePoint{Patterns: applied, Coverage: cov})
+			nextSample *= 2
+		}
+		if ev.PatternsToTarget < 0 && cov >= target {
+			ev.PatternsToTarget = applied
+		}
+	}
+	ev.FinalCoverage = float64(nDet) / float64(len(u.Faults))
+	return ev, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/bist"
+	"repro/internal/ftest"
+	"repro/internal/gatelib"
+	"repro/internal/report"
+	"repro/internal/scan"
+	"repro/internal/tta"
+)
+
+// StrategyTable compares the three test strategies — full scan (the
+// paper's baseline), pseudo-random BIST (its reference [13]) and the
+// functional application of structural patterns (the paper's approach) —
+// for the function units of an architecture. BIST is given `bistBudget`
+// pseudo-random patterns to chase the deterministic coverage.
+func StrategyTable(arch *tta.Architecture, seed int64, bistBudget int) (*report.Table, error) {
+	lib := gatelib.NewLibrary()
+	t := report.NewTable(
+		fmt.Sprintf("Test strategy comparison (%s)", arch.Name),
+		"component", "scan cycles", "scan +area", "BIST cycles", "BIST +area", "BIST FC(%)",
+		"functional cycles", "func +area", "FC(%)")
+	seen := map[string]bool{}
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		var comp *gatelib.Component
+		var err error
+		switch c.Kind {
+		case tta.ALU:
+			comp, err = lib.ALU(gatelib.ALUConfig{Width: arch.Width, Adder: c.Adder})
+		case tta.CMP:
+			comp, err = lib.CMP(arch.Width)
+		default:
+			continue // RFs use march tests; singleton units are excluded
+		}
+		if err != nil {
+			return nil, err
+		}
+		if seen[comp.Name] {
+			continue
+		}
+		seen[comp.Name] = true
+
+		res := atpg.Run(comp.Seq, atpg.Config{Seed: seed})
+		nl := scan.ChainLength(comp.Seq)
+		scanCycles := scan.TestCycles(res.NumPatterns(), nl)
+
+		ev, err := bist.Evaluate(comp.Seq, res.Coverage(), bistBudget, uint64(seed)|1)
+		if err != nil {
+			return nil, err
+		}
+		bistCycles := "never"
+		if ev.PatternsToTarget >= 0 {
+			bistCycles = fmt.Sprintf("%d", ev.PatternsToTarget)
+		}
+
+		fu := tta.NewFU(c.Kind, c.Name)
+		for pi := range fu.Ports {
+			fu.Ports[pi].Bus = pi % arch.Buses
+		}
+		timing, err := ftest.MeasureTransport(&fu, arch.Buses, res.NumPatterns(), ftest.Sequential)
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(c.Name,
+			scanCycles, fmt.Sprintf("%.0f", scan.AreaOverhead(comp.Seq)),
+			bistCycles, fmt.Sprintf("%.0f", ev.AreaOverhead), fmt.Sprintf("%.1f", 100*ev.FinalCoverage),
+			timing.Cycles, "0", fmt.Sprintf("%.2f", 100*res.Coverage()))
+	}
+	return t, nil
+}

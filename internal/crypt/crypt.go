@@ -1,0 +1,88 @@
+package crypt
+
+import "fmt"
+
+// b64Alphabet is the crypt(3) radix-64 alphabet ('.' = 0, '/' = 1,
+// '0'-'9' = 2-11, 'A'-'Z' = 12-37, 'a'-'z' = 38-63).
+const b64Alphabet = "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+// b64Value decodes one alphabet character (-1 if invalid).
+func b64Value(c byte) int {
+	switch {
+	case c == '.':
+		return 0
+	case c == '/':
+		return 1
+	case c >= '0' && c <= '9':
+		return int(c-'0') + 2
+	case c >= 'A' && c <= 'Z':
+		return int(c-'A') + 12
+	case c >= 'a' && c <= 'z':
+		return int(c-'a') + 38
+	default:
+		return -1
+	}
+}
+
+// KeyFromPassword packs up to 8 password characters into the 64-bit DES
+// key: the low 7 bits of each character occupy the high bits of each key
+// byte (the parity position is unused by PC-1).
+func KeyFromPassword(password string) uint64 {
+	var key uint64
+	for i := 0; i < 8; i++ {
+		var c byte
+		if i < len(password) {
+			c = password[i]
+		}
+		key |= uint64(c&0x7F) << 1 << uint(8*(7-i))
+	}
+	return key
+}
+
+// SaltBits decodes the two salt characters into the 12 perturbation bits.
+func SaltBits(salt string) (uint32, error) {
+	if len(salt) < 2 {
+		return 0, fmt.Errorf("crypt: salt %q shorter than 2 characters", salt)
+	}
+	v0 := b64Value(salt[0])
+	v1 := b64Value(salt[1])
+	if v0 < 0 || v1 < 0 {
+		return 0, fmt.Errorf("crypt: invalid salt %q", salt[:2])
+	}
+	return uint32(v0) | uint32(v1)<<6, nil
+}
+
+// Iterations is the crypt(3) DES iteration count.
+const Iterations = 25
+
+// Hash computes the classic DES-based crypt(3) hash: the password-derived
+// key encrypts the all-zero block 25 times with the salt-perturbed E
+// expansion; the output is the 2 salt characters followed by the 64-bit
+// result in radix-64 (11 characters, 2 zero bits of padding).
+func Hash(password, salt string) (string, error) {
+	bits, err := SaltBits(salt)
+	if err != nil {
+		return "", err
+	}
+	ks := KeySchedule(KeyFromPassword(password))
+	var block uint64
+	for i := 0; i < Iterations; i++ {
+		block = EncryptBlock(block, &ks, bits)
+	}
+	out := make([]byte, 0, 13)
+	out = append(out, salt[0], salt[1])
+	// 64 bits -> 11 characters, 6 bits each MSB-first, padded with 2 zero
+	// bits at the end.
+	v := block
+	for i := 0; i < 11; i++ {
+		shift := 64 - 6*(i+1)
+		var six uint64
+		if shift >= 0 {
+			six = v >> uint(shift) & 63
+		} else {
+			six = v << uint(-shift) & 63
+		}
+		out = append(out, b64Alphabet[six])
+	}
+	return string(out), nil
+}

@@ -1,0 +1,235 @@
+// Package crypt implements the paper's validation workload: the Unix
+// "Crypt" application — crypt(3) password hashing built on 25 iterations
+// of a salt-perturbed DES — entirely from scratch, together with a
+// lowering of the DES round kernel onto the 16-bit operation IR so the
+// same computation can be scheduled and executed on candidate TTAs.
+package crypt
+
+// DES tables (FIPS 46). All tables use the standard 1-based, MSB-first bit
+// numbering of the specification.
+
+var ipTable = [64]byte{
+	58, 50, 42, 34, 26, 18, 10, 2,
+	60, 52, 44, 36, 28, 20, 12, 4,
+	62, 54, 46, 38, 30, 22, 14, 6,
+	64, 56, 48, 40, 32, 24, 16, 8,
+	57, 49, 41, 33, 25, 17, 9, 1,
+	59, 51, 43, 35, 27, 19, 11, 3,
+	61, 53, 45, 37, 29, 21, 13, 5,
+	63, 55, 47, 39, 31, 23, 15, 7,
+}
+
+var fpTable = [64]byte{
+	40, 8, 48, 16, 56, 24, 64, 32,
+	39, 7, 47, 15, 55, 23, 63, 31,
+	38, 6, 46, 14, 54, 22, 62, 30,
+	37, 5, 45, 13, 53, 21, 61, 29,
+	36, 4, 44, 12, 52, 20, 60, 28,
+	35, 3, 43, 11, 51, 19, 59, 27,
+	34, 2, 42, 10, 50, 18, 58, 26,
+	33, 1, 41, 9, 49, 17, 57, 25,
+}
+
+var eTable = [48]byte{
+	32, 1, 2, 3, 4, 5,
+	4, 5, 6, 7, 8, 9,
+	8, 9, 10, 11, 12, 13,
+	12, 13, 14, 15, 16, 17,
+	16, 17, 18, 19, 20, 21,
+	20, 21, 22, 23, 24, 25,
+	24, 25, 26, 27, 28, 29,
+	28, 29, 30, 31, 32, 1,
+}
+
+var pTable = [32]byte{
+	16, 7, 20, 21, 29, 12, 28, 17,
+	1, 15, 23, 26, 5, 18, 31, 10,
+	2, 8, 24, 14, 32, 27, 3, 9,
+	19, 13, 30, 6, 22, 11, 4, 25,
+}
+
+var pc1Table = [56]byte{
+	57, 49, 41, 33, 25, 17, 9,
+	1, 58, 50, 42, 34, 26, 18,
+	10, 2, 59, 51, 43, 35, 27,
+	19, 11, 3, 60, 52, 44, 36,
+	63, 55, 47, 39, 31, 23, 15,
+	7, 62, 54, 46, 38, 30, 22,
+	14, 6, 61, 53, 45, 37, 29,
+	21, 13, 5, 28, 20, 12, 4,
+}
+
+var pc2Table = [48]byte{
+	14, 17, 11, 24, 1, 5,
+	3, 28, 15, 6, 21, 10,
+	23, 19, 12, 4, 26, 8,
+	16, 7, 27, 20, 13, 2,
+	41, 52, 31, 37, 47, 55,
+	30, 40, 51, 45, 33, 48,
+	44, 49, 39, 56, 34, 53,
+	46, 42, 50, 36, 29, 32,
+}
+
+var keyShifts = [16]byte{1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1}
+
+var sBoxes = [8][64]byte{
+	{ // S1
+		14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+		0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+		4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+		15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+	},
+	{ // S2
+		15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+		3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+		0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+		13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+	},
+	{ // S3
+		10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+		13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+		13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+		1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+	},
+	{ // S4
+		7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+		13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+		10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+		3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+	},
+	{ // S5
+		2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+		14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+		4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+		11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+	},
+	{ // S6
+		12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+		10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+		9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+		4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+	},
+	{ // S7
+		4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+		13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+		1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+		6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+	},
+	{ // S8
+		13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+		1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+		7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+		2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+	},
+}
+
+// spBox[i][v] is the P-permuted S-box output of box i for the 6-bit input
+// v, already placed at its position within the 32-bit round function
+// result — the classic SP-table optimization, which is also what the TTA
+// kernel looks up from data memory.
+var spBox [8][64]uint32
+
+func init() {
+	for i := 0; i < 8; i++ {
+		for v := 0; v < 64; v++ {
+			row := (v>>4)&2 | v&1
+			col := v >> 1 & 15
+			s := uint32(sBoxes[i][row*16+col])
+			// Place the 4 S-box output bits at their pre-P positions
+			// (bits 4i+1..4i+4, 1-based MSB-first), then apply P.
+			var pre uint32
+			for b := 0; b < 4; b++ {
+				if s>>(3-uint(b))&1 == 1 {
+					pre |= 1 << (31 - uint(4*i+b))
+				}
+			}
+			var out uint32
+			for j, src := range pTable {
+				if pre>>(32-uint(src))&1 == 1 {
+					out |= 1 << (31 - uint(j))
+				}
+			}
+			spBox[i][v] = out
+		}
+	}
+}
+
+// permute64 applies a 1-based MSB-first bit-selection table to a 64-bit
+// value, producing len(table) output bits (MSB-first).
+func permute64(v uint64, table []byte, inBits int) uint64 {
+	var out uint64
+	for _, src := range table {
+		out <<= 1
+		out |= v >> uint(inBits-int(src)) & 1
+	}
+	return out
+}
+
+// KeySchedule derives the 16 48-bit round keys from a 64-bit key (parity
+// bits ignored, as PC-1 drops them).
+func KeySchedule(key uint64) [16]uint64 {
+	cd := permute64(key, pc1Table[:], 64) // 56 bits
+	c := uint32(cd >> 28 & 0x0FFFFFFF)
+	d := uint32(cd & 0x0FFFFFFF)
+	var ks [16]uint64
+	for r := 0; r < 16; r++ {
+		sh := uint(keyShifts[r])
+		c = (c<<sh | c>>(28-sh)) & 0x0FFFFFFF
+		d = (d<<sh | d>>(28-sh)) & 0x0FFFFFFF
+		ks[r] = permute64(uint64(c)<<28|uint64(d), pc2Table[:], 56)
+	}
+	return ks
+}
+
+// expand applies the E expansion to a 32-bit half block, yielding 48 bits.
+func expand(r uint32) uint64 {
+	return permute64(uint64(r), eTable[:], 32)
+}
+
+// Feistel computes the DES round function f(R, K) with the salt
+// perturbation of crypt(3): before the S-box lookups, bit i of the 48-bit
+// expanded value is swapped with bit i+24 wherever the corresponding salt
+// bit (0..11) is set. Salt 0 is plain DES.
+func Feistel(r uint32, k48 uint64, salt uint32) uint32 {
+	er := expand(r)
+	// Salt perturbation (bits counted from the LSB of the 48-bit value).
+	t := (er>>24 ^ er) & uint64(salt&0x0FFF)
+	er ^= t | t<<24
+	x := er ^ k48
+	var out uint32
+	for i := 0; i < 8; i++ {
+		six := x >> uint(42-6*i) & 63
+		out ^= spBox[i][six]
+	}
+	return out
+}
+
+// InitialPermutation applies IP to a block, returning the (L, R) halves.
+func InitialPermutation(block uint64) (l, r uint32) {
+	v := permute64(block, ipTable[:], 64)
+	return uint32(v >> 32), uint32(v)
+}
+
+// FinalPermutation applies the output permutation FP = IP^-1 to the
+// (pre-swapped) halves: DES emits FP(R16 || L16).
+func FinalPermutation(l, r uint32) uint64 {
+	return permute64(uint64(r)<<32|uint64(l), fpTable[:], 64)
+}
+
+// EncryptBlock runs one full 16-round DES encryption (with optional crypt
+// salt) over a 64-bit block.
+func EncryptBlock(block uint64, ks *[16]uint64, salt uint32) uint64 {
+	l, r := InitialPermutation(block)
+	for round := 0; round < 16; round++ {
+		l, r = r, l^Feistel(r, ks[round], salt)
+	}
+	// The last round's halves are exchanged before FP.
+	return FinalPermutation(l, r)
+}
+
+// Encrypt is EncryptBlock with a fresh key schedule (plain DES when
+// salt == 0).
+func Encrypt(key, block uint64, salt uint32) uint64 {
+	ks := KeySchedule(key)
+	return EncryptBlock(block, &ks, salt)
+}

@@ -1,0 +1,250 @@
+package crypt
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// Lowering of the DES round kernel onto the 16-bit operation IR. The
+// 32-bit halves L and R and the 48-bit round keys are split into 16-bit
+// words; the S-box+P lookups use the precomputed SP tables placed in data
+// memory (high and low word planes). This is the computation the MOVE
+// framework would compile out of the Crypt C source: the scheduler maps it
+// onto candidate TTAs, and the cycle count per round drives the
+// throughput axis of the design space exploration.
+
+// SP table placement in the TTA's data memory (word addresses).
+const (
+	SPHiBase uint64 = 0x1000 // high 16 bits of spBox[i][v] at SPHiBase+64i+v
+	SPLoBase uint64 = 0x3000 // low 16 bits
+)
+
+// MemoryImage returns the data-memory contents the kernel expects: both SP
+// word planes.
+func MemoryImage() program.Memory {
+	mem := make(program.Memory, 2*8*64)
+	for i := 0; i < 8; i++ {
+		for v := 0; v < 64; v++ {
+			mem[SPHiBase+uint64(64*i+v)] = uint64(spBox[i][v] >> 16)
+			mem[SPLoBase+uint64(64*i+v)] = uint64(spBox[i][v] & 0xFFFF)
+		}
+	}
+	return mem
+}
+
+// words represents a 32-bit half block as (hi, lo) 16-bit IR values.
+type words struct{ hi, lo program.ValueID }
+
+// buildFeistel emits f(R, K) for one round: E expansion by shift/mask
+// chunk extraction, key mixing, SP-table lookups and the XOR
+// accumulation. Returns the 32-bit result as two words.
+func buildFeistel(g *program.Graph, r words, k [3]program.ValueID) words {
+	c := func(v uint64) program.ValueID { return g.ConstV(v) }
+	sll := g.Sll
+	srl := g.Srl
+	and := g.And
+	or := g.Or
+	xor := g.Xor
+
+	// x = ROR1(R): rotating right by one aligns the E expansion into
+	// consecutive 6-bit windows of x at 4-bit strides (row 1 of E is
+	// "32 1 2 3 4 5").
+	xhi := or(srl(r.hi, c(1)), sll(r.lo, c(15)))
+	xlo := or(srl(r.lo, c(1)), sll(r.hi, c(15)))
+	m63 := c(63)
+
+	echunk := [8]program.ValueID{
+		srl(xhi, c(10)),
+		and(srl(xhi, c(6)), m63),
+		and(srl(xhi, c(2)), m63),
+		and(or(sll(xhi, c(2)), srl(xlo, c(14))), m63),
+		srl(xlo, c(10)),
+		and(srl(xlo, c(6)), m63),
+		and(srl(xlo, c(2)), m63),
+		or(sll(and(xlo, c(15)), c(2)), srl(xhi, c(14))),
+	}
+	khi, kmid, klo := k[0], k[1], k[2]
+	kchunk := [8]program.ValueID{
+		srl(khi, c(10)),
+		and(srl(khi, c(4)), m63),
+		and(or(sll(khi, c(2)), srl(kmid, c(14))), m63),
+		and(srl(kmid, c(8)), m63),
+		and(srl(kmid, c(2)), m63),
+		and(or(sll(kmid, c(4)), srl(klo, c(12))), m63),
+		and(srl(klo, c(6)), m63),
+		and(klo, m63),
+	}
+
+	var fhi, flo program.ValueID = program.NoValue, program.NoValue
+	for i := 0; i < 8; i++ {
+		idx := xor(echunk[i], kchunk[i])
+		vhi := g.Load(g.Add(c(SPHiBase+uint64(64*i)), idx))
+		vlo := g.Load(g.Add(c(SPLoBase+uint64(64*i)), idx))
+		if fhi == program.NoValue {
+			fhi, flo = vhi, vlo
+		} else {
+			fhi = xor(fhi, vhi)
+			flo = xor(flo, vlo)
+		}
+	}
+	return words{fhi, flo}
+}
+
+// BuildRoundKernel builds the dataflow graph of `rounds` consecutive DES
+// rounds. Inputs (in order): L hi/lo, R hi/lo, then 3 key words per round
+// (bits 47..32, 31..16, 15..0). Outputs: final L hi/lo, R hi/lo.
+func BuildRoundKernel(rounds int) (*program.Graph, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("crypt: kernel needs at least one round")
+	}
+	g := program.NewGraph(fmt.Sprintf("crypt_round_x%d", rounds), 16)
+	l := words{g.In(), g.In()}
+	r := words{g.In(), g.In()}
+	keys := make([][3]program.ValueID, rounds)
+	for i := range keys {
+		keys[i] = [3]program.ValueID{g.In(), g.In(), g.In()}
+	}
+	for i := 0; i < rounds; i++ {
+		f := buildFeistel(g, r, keys[i])
+		newR := words{g.Xor(l.hi, f.hi), g.Xor(l.lo, f.lo)}
+		l, r = r, newR
+	}
+	g.Output(l.hi)
+	g.Output(l.lo)
+	g.Output(r.hi)
+	g.Output(r.lo)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildCryptKernel builds the compiled shape of crypt's inner loop body:
+// `rounds` DES rounds plus the loop bookkeeping the MOVE compiler would
+// emit per round (round-counter increment and the loop-exit comparison,
+// executed on the CMP unit). Inputs: L hi/lo, R hi/lo, round counter, then
+// 3 key words per round. Outputs: final L hi/lo, R hi/lo, updated counter,
+// loop-exit predicate.
+func BuildCryptKernel(rounds int) (*program.Graph, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("crypt: kernel needs at least one round")
+	}
+	g := program.NewGraph(fmt.Sprintf("crypt_loop_x%d", rounds), 16)
+	l := words{g.In(), g.In()}
+	r := words{g.In(), g.In()}
+	cnt := g.In()
+	keys := make([][3]program.ValueID, rounds)
+	for i := range keys {
+		keys[i] = [3]program.ValueID{g.In(), g.In(), g.In()}
+	}
+	one := g.ConstV(1)
+	sixteen := g.ConstV(16)
+	var done program.ValueID
+	for i := 0; i < rounds; i++ {
+		f := buildFeistel(g, r, keys[i])
+		newR := words{g.Xor(l.hi, f.hi), g.Xor(l.lo, f.lo)}
+		l, r = r, newR
+		cnt = g.Add(cnt, one)
+		done = g.Eq(cnt, sixteen)
+	}
+	g.Output(l.hi)
+	g.Output(l.lo)
+	g.Output(r.hi)
+	g.Output(r.lo)
+	g.Output(cnt)
+	g.Output(done)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// KeyScheduleBase is the data-memory address of the 16 round keys (3
+// words each: bits 47..32, 31..16, 15..0) used by the loopable iteration
+// kernel.
+const KeyScheduleBase uint64 = 0x0800
+
+// KeyScheduleMemory lays the key schedule out at KeyScheduleBase.
+func KeyScheduleMemory(ks *[16]uint64) program.Memory {
+	mem := program.Memory{}
+	for r, k := range ks {
+		mem[KeyScheduleBase+uint64(3*r)] = k >> 32 & 0xFFFF
+		mem[KeyScheduleBase+uint64(3*r)+1] = k >> 16 & 0xFFFF
+		mem[KeyScheduleBase+uint64(3*r)+2] = k & 0xFFFF
+	}
+	return mem
+}
+
+// BuildCryptIterationKernel builds one complete DES iteration (16 rounds)
+// as a *loopable* program: the round keys come from data memory (so the
+// instruction block is identical every iteration) and the outputs carry
+// the iteration's final swap folded in — output order (r16hi, r16lo,
+// l16hi, l16lo) is exactly the next iteration's (l, r) input order.
+// Running this block 25 times with epilogue copies chaining outputs to
+// input registers executes the whole crypt(3) core from one fixed piece
+// of instruction memory.
+func BuildCryptIterationKernel() (*program.Graph, error) {
+	g := program.NewGraph("crypt_iteration", 16)
+	l := words{g.In(), g.In()}
+	r := words{g.In(), g.In()}
+	for round := 0; round < 16; round++ {
+		base := KeyScheduleBase + uint64(3*round)
+		k := [3]program.ValueID{
+			g.Load(g.ConstV(base)),
+			g.Load(g.ConstV(base + 1)),
+			g.Load(g.ConstV(base + 2)),
+		}
+		f := buildFeistel(g, r, k)
+		newR := words{g.Xor(l.hi, f.hi), g.Xor(l.lo, f.lo)}
+		l, r = r, newR
+	}
+	// Folded final swap: emit (r, l) so the outputs are next iteration's
+	// (l, r).
+	g.Output(r.hi)
+	g.Output(r.lo)
+	g.Output(l.hi)
+	g.Output(l.lo)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// KernelInputs packs (l, r) halves and the round keys into the kernel's
+// input vector.
+func KernelInputs(l, r uint32, ks []uint64) []uint64 {
+	in := []uint64{
+		uint64(l >> 16), uint64(l & 0xFFFF),
+		uint64(r >> 16), uint64(r & 0xFFFF),
+	}
+	for _, k := range ks {
+		in = append(in, k>>32&0xFFFF, k>>16&0xFFFF, k&0xFFFF)
+	}
+	return in
+}
+
+// KernelOutputs unpacks the kernel's output vector back into halves.
+func KernelOutputs(out []uint64) (l, r uint32) {
+	l = uint32(out[0])<<16 | uint32(out[1])
+	r = uint32(out[2])<<16 | uint32(out[3])
+	return
+}
+
+// GoldenRounds runs `len(ks)` plain DES rounds in software — the reference
+// the kernel is validated against.
+func GoldenRounds(l, r uint32, ks []uint64) (uint32, uint32) {
+	for _, k := range ks {
+		l, r = r, l^Feistel(r, k, 0)
+	}
+	return l, r
+}
+
+// RoundsPerHash is the total DES round count of one crypt(3) evaluation:
+// 16 rounds per DES iteration, 25 iterations.
+const RoundsPerHash = 16 * Iterations
+
+// HashCycles extrapolates the cycle count of a full crypt(3) hash from a
+// measured per-round schedule: the round kernel dominates (IP/FP and the
+// key schedule are wiring/precomputation in hardware).
+func HashCycles(cyclesPerRound int) int { return cyclesPerRound * RoundsPerHash }

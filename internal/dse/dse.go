@@ -1,0 +1,425 @@
+// Package dse implements the design and test space exploration of the
+// paper: it enumerates TTA templates (bus counts, function-unit mixes,
+// register-file shapes), evaluates each candidate's circuit area,
+// execution time (schedule cycles of the Crypt kernel times the
+// architecture's clock period) and analytical test cost, extracts the 2-D
+// area/time Pareto front (figure 2), lifts it to the 3-D
+// area/time/test-cost front (figure 8), and selects the final architecture
+// with a weighted norm (figure 9).
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/crypt"
+	"repro/internal/pareto"
+	"repro/internal/power"
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/testcost"
+	"repro/internal/tta"
+)
+
+// RFSpec describes one register file of a candidate.
+type RFSpec struct {
+	Regs, In, Out int
+}
+
+func (r RFSpec) String() string { return fmt.Sprintf("%dx(%dw%dr)", r.Regs, r.In, r.Out) }
+
+// Config spans the explored space. Zero-value fields take the defaults of
+// DefaultConfig.
+type Config struct {
+	Width int
+	Seed  int64
+
+	Buses     []int
+	ALUCounts []int
+	CMPCounts []int
+	RFSets    [][]RFSpec
+
+	// Assigns lists the port-to-bus assignment strategies to explore.
+	// Different assignments of the same structure share area and cycle
+	// count but differ in CD and hence test cost — the paper's figure 6
+	// effect, and the reason 2-D-close points spread out on the test axis.
+	Assigns []tta.AssignStrategy
+
+	// Workload is the scheduled kernel; WorkloadReps scales the kernel's
+	// cycle count to the full application (crypt: 400 DES rounds).
+	Workload     *program.Graph
+	WorkloadReps int
+
+	// BusAreaPerBit models the wiring/driver area of one bus bit line;
+	// BusDelay adds the interconnect contribution to the clock period.
+	BusAreaPerBit float64
+	BusDelay      float64
+
+	// Annotator supplies the gate-level back-annotation. Sharing one
+	// across explorations reuses its ATPG cache.
+	Annotator *testcost.Annotator
+
+	// EnergyModel, when non-nil, adds a calibrated energy estimate to
+	// every candidate (an extension beyond the paper's three axes).
+	EnergyModel *power.Model
+
+	// Parallelism bounds the number of candidates evaluated concurrently
+	// (0 = GOMAXPROCS). Results are identical at any setting: candidates
+	// are independent and the annotator cache is synchronized.
+	Parallelism int
+}
+
+// DefaultConfig returns the exploration used for the paper's figures: the
+// crypt round kernel over 1-4 buses, 1-3 ALUs, 1-2 comparators and six
+// register-file arrangements.
+func DefaultConfig() (Config, error) {
+	kernel, err := crypt.BuildCryptKernel(1)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Width:     16,
+		Seed:      7,
+		Buses:     []int{1, 2, 3, 4},
+		ALUCounts: []int{1, 2, 3},
+		CMPCounts: []int{1, 2},
+		RFSets: [][]RFSpec{
+			{{8, 1, 1}, {8, 1, 1}},
+			{{8, 1, 1}, {12, 1, 1}},
+			{{8, 1, 2}, {12, 1, 1}},
+			{{12, 1, 2}, {12, 1, 2}},
+			{{16, 1, 2}},
+			{{16, 2, 2}, {16, 1, 2}},
+		},
+		Assigns:       []tta.AssignStrategy{tta.SpreadFirst, tta.Packed},
+		Workload:      kernel,
+		WorkloadReps:  crypt.RoundsPerHash,
+		BusAreaPerBit: 3.0,
+		BusDelay:      1.5,
+	}, nil
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Width == 0 {
+		c.Width = 16
+	}
+	if c.Workload == nil {
+		k, err := crypt.BuildCryptKernel(1)
+		if err != nil {
+			return err
+		}
+		c.Workload = k
+		c.WorkloadReps = crypt.RoundsPerHash
+	}
+	if len(c.Assigns) == 0 {
+		c.Assigns = []tta.AssignStrategy{tta.SpreadFirst}
+	}
+	if c.WorkloadReps == 0 {
+		c.WorkloadReps = 1
+	}
+	if len(c.Buses) == 0 {
+		c.Buses = []int{1, 2, 3, 4}
+	}
+	if len(c.ALUCounts) == 0 {
+		c.ALUCounts = []int{1, 2}
+	}
+	if len(c.CMPCounts) == 0 {
+		c.CMPCounts = []int{1}
+	}
+	if len(c.RFSets) == 0 {
+		c.RFSets = [][]RFSpec{{{8, 1, 1}, {12, 1, 1}}}
+	}
+	if c.BusAreaPerBit == 0 {
+		c.BusAreaPerBit = 3.0
+	}
+	if c.BusDelay == 0 {
+		c.BusDelay = 1.5
+	}
+	if c.Annotator == nil {
+		c.Annotator = testcost.NewAnnotator(c.Width, c.Seed)
+	}
+	return nil
+}
+
+// Candidate is one evaluated design point.
+type Candidate struct {
+	Arch *tta.Architecture
+
+	Area     float64 // NAND2-equivalent units (components + sockets + buses)
+	Cycles   int     // kernel schedule length
+	Clock    float64 // normalized clock period (critical path + bus delay)
+	ExecTime float64 // Cycles * reps * Clock
+	TestCost int     // equation (14)
+	FullScan int     // full-scan baseline for the same components
+
+	Feasible bool
+	Reason   string // why infeasible
+
+	Spills int
+
+	// Energy is the estimated switched-capacitance + leakage per
+	// application run (0 unless the exploration carries an energy model).
+	Energy float64
+}
+
+// Coords returns the (area, time, test) vector.
+func (c *Candidate) Coords() []float64 {
+	return []float64{c.Area, c.ExecTime, float64(c.TestCost)}
+}
+
+// Result is a completed exploration.
+type Result struct {
+	Config     Config
+	Candidates []Candidate
+
+	// Feasible indexes candidates that scheduled successfully.
+	Feasible []int
+	// Front2D/Front3D index into Candidates: the area/time front
+	// (figure 2) and the area/time/test front (figure 8).
+	Front2D []int
+	Front3D []int
+	// Selected indexes Candidates: the minimal-equal-weight-Euclid-norm
+	// member of the 3-D front (figure 9).
+	Selected int
+}
+
+// Explore runs the full exploration.
+func Explore(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg, Selected: -1}
+	mem := crypt.MemoryImage()
+	_ = mem
+
+	// Enumerate the space, then evaluate candidates concurrently (the
+	// result slice is indexed, so ordering is deterministic).
+	var archs []*tta.Architecture
+	id := 0
+	for _, buses := range cfg.Buses {
+		for _, nALU := range cfg.ALUCounts {
+			for _, nCMP := range cfg.CMPCounts {
+				for rfi, rfs := range cfg.RFSets {
+					for _, strat := range cfg.Assigns {
+						archs = append(archs, buildArch(cfg.Width, buses, nALU, nCMP, rfs, strat, id, rfi))
+						id++
+					}
+				}
+			}
+		}
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(archs) {
+		workers = len(archs)
+	}
+	res.Candidates = make([]Candidate, len(archs))
+	errs := make([]error, len(archs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res.Candidates[i], errs[i] = evaluate(&cfg, archs[i])
+			}
+		}()
+	}
+	for i := range archs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pts2, pts3 []pareto.Point
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if !c.Feasible {
+			continue
+		}
+		res.Feasible = append(res.Feasible, i)
+		pts2 = append(pts2, pareto.Point{ID: i, Coords: []float64{c.Area, c.ExecTime}})
+		pts3 = append(pts3, pareto.Point{ID: i, Coords: c.Coords()})
+	}
+	if len(pts2) == 0 {
+		return res, fmt.Errorf("dse: no feasible candidate in the explored space")
+	}
+	for _, pi := range pareto.Front(pts2) {
+		res.Front2D = append(res.Front2D, pts2[pi].ID)
+	}
+	for _, pi := range pareto.Front(pts3) {
+		res.Front3D = append(res.Front3D, pts3[pi].ID)
+	}
+	sort.Ints(res.Front2D)
+	sort.Ints(res.Front3D)
+
+	// Selection (figure 9): equal-weight Euclidean norm over the 3-D
+	// front members.
+	var sel []pareto.Point
+	for _, i := range res.Front3D {
+		sel = append(sel, pareto.Point{ID: i, Coords: res.Candidates[i].Coords()})
+	}
+	best, err := pareto.Select(sel, nil, pareto.Euclid)
+	if err != nil {
+		return res, err
+	}
+	res.Selected = sel[best].ID
+	return res, nil
+}
+
+// buildArch assembles one candidate architecture.
+func buildArch(width, buses, nALU, nCMP int, rfs []RFSpec, strat tta.AssignStrategy, id, rfi int) *tta.Architecture {
+	a := &tta.Architecture{
+		Name:  fmt.Sprintf("c%03d_b%d_a%d_c%d_rf%d_%s", id, buses, nALU, nCMP, rfi, strat),
+		Width: width,
+		Buses: buses,
+	}
+	for i := 0; i < nALU; i++ {
+		a.Components = append(a.Components, tta.NewFU(tta.ALU, fmt.Sprintf("ALU%d", i+1)))
+	}
+	for i := 0; i < nCMP; i++ {
+		a.Components = append(a.Components, tta.NewFU(tta.CMP, fmt.Sprintf("CMP%d", i+1)))
+	}
+	for i, rf := range rfs {
+		a.Components = append(a.Components, tta.NewRF(fmt.Sprintf("RF%d", i+1), rf.Regs, rf.In, rf.Out))
+	}
+	a.Components = append(a.Components,
+		tta.NewFU(tta.LDST, "LD/ST"),
+		tta.NewPC("PC"),
+		tta.NewIMM("Immediate"),
+	)
+	tta.AssignPorts(a, strat)
+	return a
+}
+
+// evaluate computes all three axes for one candidate.
+func evaluate(cfg *Config, arch *tta.Architecture) (Candidate, error) {
+	cand := Candidate{Arch: arch}
+
+	// Throughput axis: schedule the kernel.
+	schedRes, err := sched.Schedule(cfg.Workload, arch, sched.Options{})
+	if err != nil {
+		cand.Feasible = false
+		cand.Reason = err.Error()
+		return cand, nil
+	}
+	cand.Feasible = true
+	cand.Cycles = schedRes.Cycles
+	cand.Spills = schedRes.Spills
+
+	// Area and clock axes from the gate-level library.
+	area := 0.0
+	clock := cfg.BusDelay
+	for ci := range arch.Components {
+		ar, dl, err := cfg.Annotator.AreaDelay(&arch.Components[ci])
+		if err != nil {
+			return cand, err
+		}
+		area += ar
+		if dl+cfg.BusDelay > clock {
+			clock = dl + cfg.BusDelay
+		}
+	}
+	inA, outA, err := cfg.Annotator.SocketArea()
+	if err != nil {
+		return cand, err
+	}
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		area += float64(len(c.InputPorts()))*inA + float64(len(c.OutputPorts()))*outA
+	}
+	area += float64(arch.Buses) * float64(arch.Width) * cfg.BusAreaPerBit
+	cand.Area = area
+	cand.Clock = clock
+	cand.ExecTime = float64(cand.Cycles) * float64(cfg.WorkloadReps) * clock
+	if cfg.EnergyModel != nil {
+		est := cfg.EnergyModel.ScheduleEnergy(schedRes, area)
+		cand.Energy = est.Total * float64(cfg.WorkloadReps)
+	}
+
+	// Test axis: equation (14).
+	cost, err := cfg.Annotator.Evaluate(arch)
+	if err != nil {
+		return cand, err
+	}
+	cand.TestCost = cost.Total
+	cand.FullScan = cost.FullScanTotal
+	return cand, nil
+}
+
+// ProjectionPreserved checks the paper's figure-8 claim: projecting the
+// 3-D front back onto the area/time plane loses no point of the 2-D front
+// ("the first projection of the 3D curve in the area-execution-time plane
+// is still the curve from figure 2"). The comparison is by coordinates:
+// when several candidates tie in area and time (e.g. port-assignment
+// variants), the 3-D front keeps the test-cheapest one, which still covers
+// the 2-D point.
+func (r *Result) ProjectionPreserved() bool {
+	const eps = 1e-9
+	for _, i := range r.Front2D {
+		a := &r.Candidates[i]
+		covered := false
+		for _, j := range r.Front3D {
+			b := &r.Candidates[j]
+			if relDiff(a.Area, b.Area) < eps && relDiff(a.ExecTime, b.ExecTime) < eps {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCostSpread reports the widest (min, max) test-cost pair among
+// feasible candidates whose area and execution-time coordinates lie within
+// relative eps of each other — the paper's observation that architectures
+// close to each other on the 2-D Pareto curve may still differ strongly in
+// test cost (figure 8), which is what makes the third axis worth adding.
+func (r *Result) TestCostSpread(eps float64) (lo, hi int, found bool) {
+	bestSpread := -1
+	for ai, i := range r.Feasible {
+		for _, j := range r.Feasible[ai+1:] {
+			a, b := &r.Candidates[i], &r.Candidates[j]
+			if relDiff(a.Area, b.Area) >= eps || relDiff(a.ExecTime, b.ExecTime) >= eps {
+				continue
+			}
+			l, h := a.TestCost, b.TestCost
+			if l > h {
+				l, h = h, l
+			}
+			if h-l > bestSpread {
+				bestSpread = h - l
+				lo, hi, found = l, h, true
+			}
+		}
+	}
+	return lo, hi, found
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}

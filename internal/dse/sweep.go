@@ -1,0 +1,74 @@
+package dse
+
+import (
+	"repro/internal/pareto"
+)
+
+// SweepPoint records the selection outcome under one test-cost weight.
+type SweepPoint struct {
+	WTest    float64
+	Selected int // candidate index
+	Area     float64
+	ExecTime float64
+	TestCost int
+}
+
+// WeightSweep re-runs the figure-9 selection with area and time weights
+// fixed at 1 and the test-cost weight varied — the sensitivity analysis
+// behind the paper's remark that "the weights express the significance of
+// a constraint over other constraints". WTest = 0 reproduces a test-blind
+// (area/time only) selection; growing weights pull the choice toward
+// test-cheaper architectures.
+func (r *Result) WeightSweep(wTests []float64) ([]SweepPoint, error) {
+	var pts []pareto.Point
+	for _, i := range r.Front3D {
+		pts = append(pts, pareto.Point{ID: i, Coords: r.Candidates[i].Coords()})
+	}
+	out := make([]SweepPoint, 0, len(wTests))
+	for _, w := range wTests {
+		best, err := pareto.Select(pts, []float64{1, 1, w}, pareto.Euclid)
+		if err != nil {
+			return nil, err
+		}
+		id := pts[best].ID
+		c := &r.Candidates[id]
+		out = append(out, SweepPoint{
+			WTest:    w,
+			Selected: id,
+			Area:     c.Area,
+			ExecTime: c.ExecTime,
+			TestCost: c.TestCost,
+		})
+	}
+	return out, nil
+}
+
+// TestBlindPenalty quantifies what ignoring the test axis costs: it
+// selects on (area, time) alone — breaking coordinate ties arbitrarily in
+// candidate order, as a test-unaware flow would — and reports that
+// choice's test cost against the test-aware selection's. The returned
+// ratio is >= 1; equality means the test axis happened not to matter for
+// this space.
+func (r *Result) TestBlindPenalty() (blind, aware int, ratio float64, err error) {
+	var pts2 []pareto.Point
+	for _, i := range r.Feasible {
+		c := &r.Candidates[i]
+		pts2 = append(pts2, pareto.Point{ID: i, Coords: []float64{c.Area, c.ExecTime}})
+	}
+	best2, err := pareto.Select(pts2, nil, pareto.Euclid)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	blindCand := &r.Candidates[pts2[best2].ID]
+	// A test-blind flow cannot distinguish coordinate ties; the worst tied
+	// candidate is the risk it accepts.
+	worst := blindCand.TestCost
+	for _, i := range r.Feasible {
+		c := &r.Candidates[i]
+		if c.Area == blindCand.Area && c.ExecTime == blindCand.ExecTime && c.TestCost > worst {
+			worst = c.TestCost
+		}
+	}
+	awareCost := r.Candidates[r.Selected].TestCost
+	return worst, awareCost, float64(worst) / float64(awareCost), nil
+}

@@ -1,0 +1,63 @@
+package dse
+
+import "testing"
+
+func TestWeightSweepMonotoneInTestCost(t *testing.T) {
+	res := explore(t)
+	sweep, err := res.WeightSweep([]float64{0, 0.5, 1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 7 {
+		t.Fatalf("%d sweep points, want 7", len(sweep))
+	}
+	// Raising the test weight must never raise the selected test cost.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].TestCost > sweep[i-1].TestCost {
+			t.Errorf("wTest %.1f selects test cost %d, above %d at weight %.1f",
+				sweep[i].WTest, sweep[i].TestCost, sweep[i-1].TestCost, sweep[i-1].WTest)
+		}
+	}
+	// At an extreme weight the selection is the test-minimal front member.
+	minTest := sweep[0].TestCost
+	for _, i := range res.Front3D {
+		if res.Candidates[i].TestCost < minTest {
+			minTest = res.Candidates[i].TestCost
+		}
+	}
+	if sweep[len(sweep)-1].TestCost != minTest {
+		t.Errorf("wTest=16 selects test cost %d, front minimum is %d",
+			sweep[len(sweep)-1].TestCost, minTest)
+	}
+}
+
+func TestWeightSweepMovesSelection(t *testing.T) {
+	res := explore(t)
+	sweep, err := res.WeightSweep([]float64{0, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep[0].Selected == sweep[1].Selected {
+		t.Log("note: test weight did not move the selection on this space")
+	}
+	if sweep[1].TestCost > sweep[0].TestCost {
+		t.Error("heavy test weight selected a costlier-to-test design")
+	}
+}
+
+func TestTestBlindPenalty(t *testing.T) {
+	res := explore(t)
+	blind, aware, ratio, err := res.TestBlindPenalty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 {
+		t.Fatalf("test-aware selection (%d) beat by the blind one (%d)?", aware, blind)
+	}
+	t.Logf("test-blind worst-case pick: %d cycles; test-aware: %d cycles (%.2fx)", blind, aware, ratio)
+	// With packed-assignment twins in the space, the blind flow risks a
+	// strictly worse pick.
+	if blind == aware {
+		t.Log("note: blind and aware selections coincide on this space")
+	}
+}

@@ -1,0 +1,210 @@
+// Package ftest makes the paper's central mechanism executable: the
+// functional application of structural test patterns to a TTA component.
+// ATPG patterns are transported over the MOVE buses into the component's
+// operand and trigger registers (obeying the timing relations (2)-(8) and
+// the port-to-bus assignment), the response is observed through the result
+// register, and detection is decided against the fault-injected gate-level
+// netlist. The measured transport cycle count empirically validates the
+// analytical cost f_tfu = n_p * CD * ceil(n_conn/n_b) of equation (11).
+package ftest
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/gatelib"
+	"repro/internal/tta"
+)
+
+// Mode selects how aggressively consecutive patterns overlap.
+type Mode uint8
+
+// Application modes.
+const (
+	// Sequential starts a pattern only once the previous response has
+	// left through the output socket — the paper's cost model.
+	Sequential Mode = iota
+	// Pipelined overlaps the next pattern's operand transports with the
+	// previous response readout wherever the R register and the buses
+	// allow — an extension beyond the paper showing the model's headroom.
+	Pipelined
+)
+
+func (m Mode) String() string {
+	if m == Pipelined {
+		return "pipelined"
+	}
+	return "sequential"
+}
+
+// Timing is the measured transport schedule of one functional test
+// session.
+type Timing struct {
+	Mode     Mode
+	Patterns int
+	// Cycles is the measured total application time.
+	Cycles int
+	// Analytic is the paper's f_tfu for the same component and bus count.
+	Analytic int
+	// CD is the per-pattern cycle distance of the port assignment.
+	CD int
+}
+
+// PerPattern returns the measured steady-state cost per pattern.
+func (t *Timing) PerPattern() float64 {
+	if t.Patterns == 0 {
+		return 0
+	}
+	return float64(t.Cycles) / float64(t.Patterns)
+}
+
+func (t *Timing) String() string {
+	return fmt.Sprintf("%s: %d patterns in %d cycles (%.2f/pattern; analytic f_tfu=%d, CD=%d)",
+		t.Mode, t.Patterns, t.Cycles, t.PerPattern(), t.Analytic, t.CD)
+}
+
+// MeasureTransport simulates applying np patterns to a function unit whose
+// ports are assigned as in fu, over an architecture with `buses` MOVE
+// buses, and returns the measured schedule. The simulation follows the
+// transport rules of internal/sched: a move on a bus at cycle t loads its
+// register at t+1; the result register holds the response two cycles after
+// the trigger; the response leaves on a bus no earlier than one cycle
+// after that (relations (2)-(8)).
+func MeasureTransport(fu *tta.Component, buses, np int, mode Mode) (*Timing, error) {
+	ins := fu.InputPorts()
+	outs := fu.OutputPorts()
+	if len(ins) < 1 || len(outs) != 1 {
+		return nil, fmt.Errorf("ftest: component %q is not a testable FU shape", fu.Name)
+	}
+	for _, pi := range append(append([]int{}, ins...), outs...) {
+		if fu.Ports[pi].Bus < 0 || fu.Ports[pi].Bus >= buses {
+			return nil, fmt.Errorf("ftest: port %d of %q not assigned within %d buses", pi, fu.Name, buses)
+		}
+	}
+	oBus := fu.Ports[ins[0]].Bus
+	tBus := oBus
+	if len(ins) > 1 {
+		tBus = fu.Ports[ins[1]].Bus
+	}
+	rBus := fu.Ports[outs[0]].Bus
+
+	cd := fu.CD()
+	analytic := np * cd * ceilDiv(fu.NumConnectors(), buses)
+
+	// Greedy per-bus reservation: each bus carries one move per cycle.
+	busNext := make([]int, buses)
+	reserve := func(bus, earliest int) int {
+		c := earliest
+		if busNext[bus] > c {
+			c = busNext[bus]
+		}
+		busNext[bus] = c + 1
+		return c
+	}
+
+	total := 0
+	prevRead := -1 // cycle the previous response left through F_out
+	for k := 0; k < np; k++ {
+		earliest := 0
+		if mode == Sequential && prevRead >= 0 {
+			// The paper's cost model: one pattern in flight at a time —
+			// only the response readout may overlap the next operand move.
+			earliest = prevRead
+		}
+		a := reserve(oBus, earliest)
+		b := a
+		if len(ins) > 1 {
+			b = reserve(tBus, a)
+		}
+		// The R register is overwritten two cycles after the trigger; the
+		// previous response must have left by then (same-cycle read-then-
+		// overwrite is legal, reads sample before the clock edge).
+		if prevRead >= 0 && b+2 < prevRead {
+			b = prevRead - 2
+			busNext[tBus] = b + 1
+		}
+		// Response readout after relation (8): F_out >= R + 1 = b + 3.
+		read := reserve(rBus, b+3)
+		prevRead = read
+		total = read + 1
+	}
+	return &Timing{Mode: mode, Patterns: np, Cycles: total, Analytic: analytic, CD: cd}, nil
+}
+
+func ceilDiv(x, y int) int {
+	if y <= 0 {
+		return x
+	}
+	return (x + y - 1) / y
+}
+
+// Campaign is the result of a full functional fault-injection run.
+type Campaign struct {
+	Component string
+	Timing    *Timing
+	// TotalFaults and Detected count the collapsed stuck-at faults of the
+	// component's combinational core actually distinguished through the
+	// R-register observation path.
+	TotalFaults int
+	Detected    int
+	Redundant   int
+	Aborted     int
+}
+
+// Coverage is detected / (total - redundant).
+func (c *Campaign) Coverage() float64 {
+	den := c.TotalFaults - c.Redundant
+	if den <= 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(den)
+}
+
+func (c *Campaign) String() string {
+	return fmt.Sprintf("%s: %d/%d faults detected functionally (FC %.2f%%), %s",
+		c.Component, c.Detected, c.TotalFaults, 100*c.Coverage(), c.Timing)
+}
+
+// RunCampaign generates patterns for the component's combinational core,
+// measures their functional application on the given port assignment, and
+// injects every collapsed fault into the gate-level netlist to confirm the
+// transported responses distinguish it.
+func RunCampaign(comp *gatelib.Component, fu *tta.Component, buses int, mode Mode, cfg atpg.Config) (*Campaign, error) {
+	if comp.Comb == nil {
+		return nil, fmt.Errorf("ftest: component %s has no combinational core", comp.Name)
+	}
+	res := atpg.Run(comp.Comb, cfg)
+	timing, err := MeasureTransport(fu, buses, res.NumPatterns(), mode)
+	if err != nil {
+		return nil, err
+	}
+	u := atpg.NewUniverse(comp.Comb)
+	sim := atpg.NewSimulator(comp.Comb)
+	detected := make([]bool, len(u.Faults))
+	for start := 0; start < len(res.Patterns); start += 64 {
+		end := start + 64
+		if end > len(res.Patterns) {
+			end = len(res.Patterns)
+		}
+		sim.LoadBlock(res.Patterns[start:end])
+		for fi := range u.Faults {
+			if !detected[fi] && sim.Detects(u.Faults[fi]) != 0 {
+				detected[fi] = true
+			}
+		}
+	}
+	n := 0
+	for _, d := range detected {
+		if d {
+			n++
+		}
+	}
+	return &Campaign{
+		Component:   comp.Name,
+		Timing:      timing,
+		TotalFaults: len(u.Faults),
+		Detected:    n,
+		Redundant:   res.Redundant,
+		Aborted:     res.Aborted,
+	}, nil
+}

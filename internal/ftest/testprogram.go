@@ -1,0 +1,316 @@
+package ftest
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/gatelib"
+	"repro/internal/netlist"
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tta"
+)
+
+// The functional test as an actual TTA program: every ATPG pattern becomes
+// an operation whose operands arrive as immediates and whose response is
+// stored to a memory dump region — exactly the move traffic the paper's
+// approach implies, schedulable and encodable like any application. The
+// fault-injection campaign runs this program on the behavioural simulator
+// with the target component's execution replaced by its fault-injected
+// gate-level netlist; detection is a difference in the response dump.
+
+// DumpBase is the memory region the test program stores responses to.
+const DumpBase uint64 = 0xD000
+
+// hwToIR maps a component's hardware opcode to the IR operation the
+// scheduler/simulator execute. The ALU's "pass" opcode (7) has no IR
+// equivalent and is reported unexpressible.
+func hwToIR(kind tta.Kind, op int) (program.OpCode, bool) {
+	switch kind {
+	case tta.ALU:
+		ops := []program.OpCode{program.Add, program.Sub, program.Sll, program.Srl,
+			program.And, program.Or, program.Xor}
+		if op >= 0 && op < len(ops) {
+			return ops[op], true
+		}
+		return 0, false
+	case tta.CMP:
+		if op >= 0 && op < 8 {
+			return program.Eq + program.OpCode(op), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// decodePattern splits a combinational-core pattern into its operand,
+// trigger and opcode fields (the core's input ports are o, t, op).
+func decodePattern(comb *netlist.Netlist, p atpg.Pattern) (o, t uint64, op int, err error) {
+	po, ok1 := comb.InputPort("o")
+	pt, ok2 := comb.InputPort("t")
+	pop, ok3 := comb.InputPort("op")
+	if !ok1 || !ok2 || !ok3 {
+		return 0, 0, 0, fmt.Errorf("ftest: core lacks o/t/op ports")
+	}
+	// Pattern order = simulator controllables = PIs in port order.
+	idx := 0
+	read := func(width int) uint64 {
+		var v uint64
+		for i := 0; i < width; i++ {
+			if p[idx] != 0 {
+				v |= 1 << uint(i)
+			}
+			idx++
+		}
+		return v
+	}
+	o = read(po.Width())
+	t = read(pt.Width())
+	op = int(read(pop.Width()))
+	return o, t, op, nil
+}
+
+// TestProgram is the compiled functional test of one component.
+type TestProgram struct {
+	Graph *program.Graph
+	// Applied counts the patterns expressed; Skipped counts patterns whose
+	// opcode has no IR equivalent (the ALU pass op).
+	Applied int
+	Skipped int
+	// Expected is the fault-free response dump (index -> value).
+	Expected []uint64
+}
+
+// BuildTestProgram compiles the pattern set for a component kind into a
+// dataflow program: op_i = hwop_i(o_i, t_i); store(DumpBase+i, op_i).
+func BuildTestProgram(kind tta.Kind, comb *netlist.Netlist, patterns []atpg.Pattern, width int) (*TestProgram, error) {
+	g := program.NewGraph(fmt.Sprintf("ftest_%s", kind), width)
+	tp := &TestProgram{Graph: g}
+	slot := 0
+	for _, p := range patterns {
+		o, t, op, err := decodePattern(comb, p)
+		if err != nil {
+			return nil, err
+		}
+		irOp, ok := hwToIR(kind, op)
+		if !ok {
+			tp.Skipped++
+			continue
+		}
+		r := g.Bin(irOp, g.ConstV(o), g.ConstV(t))
+		g.Store(g.ConstV(DumpBase+uint64(slot)), r)
+		want, err := program.EvalBinary(irOp, o, t, width)
+		if err != nil {
+			return nil, err
+		}
+		tp.Expected = append(tp.Expected, want)
+		tp.Applied++
+		slot++
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+// NetlistExec returns a simulator execution override that computes the
+// component's operations on its (optionally fault-injected) gate-level
+// netlist instead of the behavioural semantics. Only the given component
+// index is intercepted.
+func NetlistExec(compIdx int, comp *gatelib.Component, fault *atpg.Fault) (func(int, program.OpCode, uint64, uint64) (uint64, bool), error) {
+	comb := comp.Comb
+	if comb == nil {
+		return nil, fmt.Errorf("ftest: component %s has no combinational core", comp.Name)
+	}
+	sim := atpg.NewSimulator(comb)
+	po, _ := comb.InputPort("o")
+	pt, _ := comb.InputPort("t")
+	pop, _ := comb.InputPort("op")
+	pres, ok := comb.OutputPort("result")
+	if !ok {
+		return nil, fmt.Errorf("ftest: core lacks a result port")
+	}
+	nc := sim.NumControls()
+	// Precompute the pattern position of every port bit.
+	posOf := func(port netlist.Port) []int {
+		out := make([]int, port.Width())
+		for i, net := range port.Nets {
+			out[i] = -1
+			for ci, ctrl := range sim.Controllables() {
+				if ctrl == net {
+					out[i] = ci
+				}
+			}
+		}
+		return out
+	}
+	oPos, tPos, opPos := posOf(po), posOf(pt), posOf(pop)
+	irToHW := func(op program.OpCode) (int, bool) {
+		switch {
+		case op >= program.Add && op <= program.Xor:
+			return int(op - program.Add), true
+		case op >= program.Eq && op <= program.Gts:
+			return int(op - program.Eq), true
+		default:
+			return 0, false
+		}
+	}
+	return func(c int, op program.OpCode, o, t uint64) (uint64, bool) {
+		if c != compIdx {
+			return 0, false
+		}
+		hw, ok := irToHW(op)
+		if !ok {
+			return 0, false
+		}
+		pat := make(atpg.Pattern, nc)
+		fill := func(pos []int, v uint64) {
+			for i, ci := range pos {
+				if ci >= 0 {
+					pat[ci] = uint8(v >> uint(i) & 1)
+				}
+			}
+		}
+		fill(oPos, o)
+		fill(tPos, t)
+		fill(opPos, uint64(hw))
+		sim.LoadBlock([]atpg.Pattern{pat})
+		if fault != nil {
+			// Re-derive the faulty response: the good response is in the
+			// simulator already; apply the fault's lane-0 flips.
+			diffMask := sim.Detects(*fault)
+			good := uint64(0)
+			for i, net := range pres.Nets {
+				if sim.GoodResponse(net)&1 == 1 {
+					good |= 1 << uint(i)
+				}
+			}
+			if diffMask&1 == 0 {
+				return good, true // fault not excited by this input
+			}
+			// Recompute the exact faulty output word.
+			return faultyResponse(sim, comb, pres, *fault), true
+		}
+		good := uint64(0)
+		for i, net := range pres.Nets {
+			if sim.GoodResponse(net)&1 == 1 {
+				good |= 1 << uint(i)
+			}
+		}
+		return good, true
+	}, nil
+}
+
+// faultyResponse evaluates the loaded pattern against the injected fault
+// and reads back the faulty result word (lane 0).
+func faultyResponse(s *atpg.Simulator, comb *netlist.Netlist, pres netlist.Port, f atpg.Fault) uint64 {
+	// Detects left the faulty cone values in the simulator's work array;
+	// re-run to ensure freshness and read the faulty outputs.
+	_ = s.Detects(f)
+	var v uint64
+	for i, net := range pres.Nets {
+		if s.FaultyWord(net)&1 == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// ProgramCampaign schedules the test program once on the architecture and
+// replays it against every collapsed fault of the component's core,
+// counting faults whose response dump differs from the fault-free run.
+type ProgramCampaign struct {
+	Cycles      int
+	Moves       int
+	Applied     int
+	Skipped     int
+	TotalFaults int
+	Detected    int
+}
+
+// Coverage returns detected/total over the core's collapsed universe.
+func (c *ProgramCampaign) Coverage() float64 {
+	if c.TotalFaults == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.TotalFaults)
+}
+
+// RunProgramCampaign compiles, schedules and replays the functional test
+// program of the component at compIdx of the architecture. maxFaults > 0
+// subsamples the universe evenly (full campaigns over large components are
+// expensive; the subsample preserves the coverage estimate).
+func RunProgramCampaign(arch *tta.Architecture, compIdx int, comp *gatelib.Component, cfg atpg.Config, maxFaults int) (*ProgramCampaign, error) {
+	kind := arch.Components[compIdx].Kind
+	res := atpg.Run(comp.Comb, cfg)
+	tp, err := BuildTestProgram(kind, comp.Comb, res.Patterns, arch.Width)
+	if err != nil {
+		return nil, err
+	}
+	schedRes, err := sched.Schedule(tp.Graph, arch, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	camp := &ProgramCampaign{
+		Cycles:  schedRes.Cycles,
+		Moves:   len(schedRes.Moves),
+		Applied: tp.Applied,
+		Skipped: tp.Skipped,
+	}
+
+	// Fault-free baseline dump.
+	goodExec, err := NetlistExec(compIdx, comp, nil)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := runDump(schedRes, tp, goodExec)
+	if err != nil {
+		return nil, err
+	}
+
+	u := atpg.NewUniverse(comp.Comb)
+	faults := u.Faults
+	if maxFaults > 0 && len(faults) > maxFaults {
+		stride := len(faults) / maxFaults
+		var sampled []atpg.Fault
+		for i := 0; i < len(faults); i += stride {
+			sampled = append(sampled, faults[i])
+		}
+		faults = sampled
+	}
+	camp.TotalFaults = len(faults)
+	for _, f := range faults {
+		fault := f
+		exec, err := NetlistExec(compIdx, comp, &fault)
+		if err != nil {
+			return nil, err
+		}
+		dump, err := runDump(schedRes, tp, exec)
+		if err != nil {
+			return nil, err
+		}
+		for i := range baseline {
+			if dump[i] != baseline[i] {
+				camp.Detected++
+				break
+			}
+		}
+	}
+	return camp, nil
+}
+
+// runDump executes the scheduled test program and returns the response
+// dump region.
+func runDump(schedRes *sched.Result, tp *TestProgram, exec func(int, program.OpCode, uint64, uint64) (uint64, bool)) ([]uint64, error) {
+	mem := program.Memory{}
+	if _, err := sim.Run(schedRes, nil, mem, sim.Options{ExecOverride: exec}); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, tp.Applied)
+	for i := range out {
+		out[i] = mem[DumpBase+uint64(i)]
+	}
+	return out, nil
+}

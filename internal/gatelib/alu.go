@@ -1,0 +1,166 @@
+package gatelib
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// ALU opcode encodings (3-bit, matching the operation set of the paper's
+// figure 9 ALU: addition, subtraction, shifting and basic logic).
+const (
+	ALUOpAdd  = 0 // R = O + T
+	ALUOpSub  = 1 // R = O - T
+	ALUOpSll  = 2 // R = O << T[k:0]
+	ALUOpSrl  = 3 // R = O >> T[k:0] (logical)
+	ALUOpAnd  = 4 // R = O & T
+	ALUOpOr   = 5 // R = O | T
+	ALUOpXor  = 6 // R = O ^ T
+	ALUOpPass = 7 // R = O
+
+	// ALUOpBits is the opcode field width.
+	ALUOpBits = 3
+)
+
+// ALUOpName returns a mnemonic for an ALU opcode.
+func ALUOpName(op int) string {
+	names := []string{"add", "sub", "sll", "srl", "and", "or", "xor", "pass"}
+	if op >= 0 && op < len(names) {
+		return names[op]
+	}
+	return fmt.Sprintf("aluop%d", op)
+}
+
+// ALUGolden computes the ALU function in software — the golden model the
+// netlist is verified against. Shift semantics match the operation IR
+// (program.EvalBinary): the amount is the trigger value modulo 64, and
+// any amount at or beyond the width yields zero.
+func ALUGolden(op int, o, t uint64, width int) uint64 {
+	mask := uint64(1)<<uint(width) - 1
+	o &= mask
+	t &= mask
+	sh := t & 63
+	var r uint64
+	switch op {
+	case ALUOpAdd:
+		r = o + t
+	case ALUOpSub:
+		r = o - t
+	case ALUOpSll:
+		if sh >= uint64(width) {
+			r = 0
+		} else {
+			r = o << sh
+		}
+	case ALUOpSrl:
+		if sh >= uint64(width) {
+			r = 0
+		} else {
+			r = o >> sh
+		}
+	case ALUOpAnd:
+		r = o & t
+	case ALUOpOr:
+		r = o | t
+	case ALUOpXor:
+		r = o ^ t
+	case ALUOpPass:
+		r = o
+	}
+	return r & mask
+}
+
+// shamtBits returns the width of the in-range shift-amount field
+// (log2(width)); the remaining trigger bits up to bit 5 feed the
+// over-shift zeroing term.
+func shamtBits(width int) int {
+	b := 0
+	for 1<<uint(b) < width {
+		b++
+	}
+	return b
+}
+
+// buildALUCore emits the combinational ALU function over the operand (o),
+// trigger (t) and opcode nets, returning the result nets.
+func buildALUCore(b *netlist.Builder, cfg ALUConfig, o, t, op []netlist.Net) []netlist.Net {
+	w := cfg.Width
+	sub := op[0] // ADD=000, SUB=001: bit0 selects subtract within the add group
+	var sum []netlist.Net
+	switch cfg.Adder {
+	case AdderCarrySelect:
+		sum, _ = buildCarrySelectAddSub(b, o, t, sub)
+	default:
+		sum, _ = buildRippleAddSub(b, o, t, sub)
+	}
+
+	right := op[0] // SLL=010, SRL=011: bit0 selects direction
+	lb := shamtBits(w)
+	sh := t[:lb]
+	shifted := buildBarrelShifter(b, o, sh, right)
+	// Over-shift: any amount bit from log2(w) up to bit 5 zeroes the
+	// result (IR semantics: amount taken modulo 64, >= width yields 0).
+	hiEnd := 6
+	if hiEnd > w {
+		hiEnd = w
+	}
+	if hiEnd > lb {
+		over := b.Or(t[lb:hiEnd]...)
+		keep := b.Not(over)
+		for i := range shifted {
+			shifted[i] = b.And(shifted[i], keep)
+		}
+	}
+
+	andv := make([]netlist.Net, w)
+	orv := make([]netlist.Net, w)
+	xorv := make([]netlist.Net, w)
+	for i := 0; i < w; i++ {
+		andv[i] = b.And(o[i], t[i])
+		orv[i] = b.Or(o[i], t[i])
+		xorv[i] = b.Xor(o[i], t[i])
+	}
+
+	// Result select on op[2:1]: 0x=add/sub group or shift group by op[1];
+	// exact decode: group = op[2:1], 00 -> sum, 01 -> shift, 10 -> and/or
+	// by op[0], 11 -> xor/pass by op[0].
+	res := make([]netlist.Net, w)
+	for i := 0; i < w; i++ {
+		andOr := b.Mux(op[0], andv[i], orv[i])
+		xorPass := b.Mux(op[0], xorv[i], o[i])
+		low := b.Mux(op[1], sum[i], shifted[i])
+		high := b.Mux(op[1], andOr, xorPass)
+		res[i] = b.Mux(op[2], low, high)
+	}
+	return res
+}
+
+// NewALU generates the ALU component in both combinational and pipelined
+// form.
+func NewALU(cfg ALUConfig) (*Component, error) {
+	if cfg.Width < 2 {
+		return nil, fmt.Errorf("gatelib: ALU width %d < 2", cfg.Width)
+	}
+	name := fmt.Sprintf("alu%d_%s", cfg.Width, cfg.Adder)
+
+	comb, err := buildCombWrapper(name+"_core", cfg.Width, ALUOpBits, func(b *netlist.Builder, o, t, op []netlist.Net) []netlist.Net {
+		return buildALUCore(b, cfg, o, t, op)
+	})
+	if err != nil {
+		return nil, err
+	}
+	seq, err := buildPipelinedWrapper(name, cfg.Width, ALUOpBits, func(b *netlist.Builder, o, t, op []netlist.Net) []netlist.Net {
+		return buildALUCore(b, cfg, o, t, op)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Component{
+		Kind:  KindALU,
+		Name:  name,
+		Comb:  comb,
+		Seq:   seq,
+		NumIn: 2, NumOut: 1,
+		Width: cfg.Width,
+	}, nil
+}

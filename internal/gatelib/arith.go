@@ -1,0 +1,150 @@
+package gatelib
+
+import "repro/internal/netlist"
+
+// Structural arithmetic cores shared by the ALU, comparator and PC
+// generators. All buses are LSB-first.
+
+// buildFullAdderBit adds one bit column and returns (sum, carry-out).
+func buildFullAdderBit(b *netlist.Builder, a, x, ci netlist.Net) (netlist.Net, netlist.Net) {
+	axor := b.Xor(a, x)
+	sum := b.Xor(axor, ci)
+	co := b.Or(b.And(a, x), b.And(axor, ci))
+	return sum, co
+}
+
+// buildRippleAddSub builds a width-bit adder/subtractor: when sub is 1 the
+// x operand is inverted and the carry-in forced to 1 (two's-complement
+// subtraction a-x). Returns the sum bits and the final carry-out.
+func buildRippleAddSub(b *netlist.Builder, a, x []netlist.Net, sub netlist.Net) ([]netlist.Net, netlist.Net) {
+	sum := make([]netlist.Net, len(a))
+	carry := sub
+	for i := range a {
+		xi := b.Xor(x[i], sub)
+		sum[i], carry = buildFullAdderBit(b, a[i], xi, carry)
+	}
+	return sum, carry
+}
+
+// buildCarrySelectAddSub builds the carry-select variant: the word is split
+// into blocks; each non-initial block is computed twice (carry-in 0 and 1)
+// and the true carry selects between them. Larger than ripple but shallower
+// — the design-choice ablation of DESIGN.md.
+func buildCarrySelectAddSub(b *netlist.Builder, a, x []netlist.Net, sub netlist.Net) ([]netlist.Net, netlist.Net) {
+	const block = 4
+	w := len(a)
+	xs := make([]netlist.Net, w)
+	for i := range x {
+		xs[i] = b.Xor(x[i], sub)
+	}
+	sum := make([]netlist.Net, w)
+	carry := sub
+	for lo := 0; lo < w; lo += block {
+		hi := lo + block
+		if hi > w {
+			hi = w
+		}
+		if lo == 0 {
+			for i := lo; i < hi; i++ {
+				sum[i], carry = buildFullAdderBit(b, a[i], xs[i], carry)
+			}
+			continue
+		}
+		c0 := b.Const(false)
+		c1 := b.Const(true)
+		s0 := make([]netlist.Net, hi-lo)
+		s1 := make([]netlist.Net, hi-lo)
+		for i := lo; i < hi; i++ {
+			s0[i-lo], c0 = buildFullAdderBit(b, a[i], xs[i], c0)
+			s1[i-lo], c1 = buildFullAdderBit(b, a[i], xs[i], c1)
+		}
+		for i := lo; i < hi; i++ {
+			sum[i] = b.Mux(carry, s0[i-lo], s1[i-lo])
+		}
+		carry = b.Mux(carry, c0, c1)
+	}
+	return sum, carry
+}
+
+// buildIncrementer builds a +1 incrementer (half-adder chain) and returns
+// the incremented bits.
+func buildIncrementer(b *netlist.Builder, a []netlist.Net) []netlist.Net {
+	out := make([]netlist.Net, len(a))
+	carry := b.Const(true)
+	for i := range a {
+		out[i] = b.Xor(a[i], carry)
+		carry = b.And(a[i], carry)
+	}
+	return out
+}
+
+// buildBarrelShifter shifts a by the binary amount sh (LSB-first); right=1
+// selects a logical right shift, otherwise logical left. Implemented as
+// log2(width) mux stages.
+func buildBarrelShifter(b *netlist.Builder, a []netlist.Net, sh []netlist.Net, right netlist.Net) []netlist.Net {
+	zero := b.Const(false)
+	cur := append([]netlist.Net(nil), a...)
+	w := len(a)
+	for stage, s := range sh {
+		dist := 1 << uint(stage)
+		if dist >= w {
+			// Shifting by >= width zeroes everything when this stage fires.
+			next := make([]netlist.Net, w)
+			for i := 0; i < w; i++ {
+				next[i] = b.Mux(s, cur[i], zero)
+			}
+			cur = next
+			continue
+		}
+		next := make([]netlist.Net, w)
+		for i := 0; i < w; i++ {
+			// Left shift by dist: bit i comes from i-dist.
+			var leftSrc netlist.Net = zero
+			if i-dist >= 0 {
+				leftSrc = cur[i-dist]
+			}
+			// Right shift by dist: bit i comes from i+dist.
+			var rightSrc netlist.Net = zero
+			if i+dist < w {
+				rightSrc = cur[i+dist]
+			}
+			shifted := b.Mux(right, leftSrc, rightSrc)
+			next[i] = b.Mux(s, cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// buildEqual builds a width-wide equality comparator (a == x).
+func buildEqual(b *netlist.Builder, a, x []netlist.Net) netlist.Net {
+	bits := make([]netlist.Net, len(a))
+	for i := range a {
+		bits[i] = b.Xnor(a[i], x[i])
+	}
+	return b.And(bits...)
+}
+
+// buildLessUnsigned returns a < x (unsigned) using a borrow chain.
+func buildLessUnsigned(b *netlist.Builder, a, x []netlist.Net) netlist.Net {
+	// borrow_{i+1} = (~a_i & x_i) | ((a_i xnor x_i) & borrow_i)
+	borrow := b.Const(false)
+	for i := range a {
+		diff := b.And(b.Not(a[i]), x[i])
+		same := b.Xnor(a[i], x[i])
+		borrow = b.Or(diff, b.And(same, borrow))
+	}
+	return borrow
+}
+
+// buildLessSigned returns a < x (two's complement signed).
+func buildLessSigned(b *netlist.Builder, a, x []netlist.Net) netlist.Net {
+	w := len(a)
+	ltu := buildLessUnsigned(b, a[:w-1], x[:w-1])
+	sa, sx := a[w-1], x[w-1]
+	// a<x signed: (sa & ~sx) | ((sa xnor sx) & ltu(lower)) ... with equal
+	// sign bits the magnitude comparison of the remaining bits decides.
+	diffSign := b.And(sa, b.Not(sx))
+	sameSign := b.Xnor(sa, sx)
+	return b.Or(diffSign, b.And(sameSign, ltu))
+}

@@ -1,0 +1,128 @@
+package gatelib
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Comparator opcode encodings (3-bit). The result is 0 or 1 in bit 0 of the
+// result bus; the remaining bits are zero.
+const (
+	CMPOpEq  = 0 // O == T
+	CMPOpNe  = 1 // O != T
+	CMPOpLtu = 2 // O <  T unsigned
+	CMPOpLts = 3 // O <  T signed
+	CMPOpGeu = 4 // O >= T unsigned
+	CMPOpGes = 5 // O >= T signed
+	CMPOpGtu = 6 // O >  T unsigned
+	CMPOpGts = 7 // O >  T signed
+
+	// CMPOpBits is the opcode field width.
+	CMPOpBits = 3
+)
+
+// CMPOpName returns a mnemonic for a comparator opcode.
+func CMPOpName(op int) string {
+	names := []string{"eq", "ne", "ltu", "lts", "geu", "ges", "gtu", "gts"}
+	if op >= 0 && op < len(names) {
+		return names[op]
+	}
+	return fmt.Sprintf("cmpop%d", op)
+}
+
+// CMPGolden computes the comparator predicate in software.
+func CMPGolden(op int, o, t uint64, width int) uint64 {
+	mask := uint64(1)<<uint(width) - 1
+	o &= mask
+	t &= mask
+	sign := uint64(1) << uint(width-1)
+	so := int64(o)
+	st := int64(t)
+	if o&sign != 0 {
+		so = int64(o) - int64(1)<<uint(width)
+	}
+	if t&sign != 0 {
+		st = int64(t) - int64(1)<<uint(width)
+	}
+	var p bool
+	switch op {
+	case CMPOpEq:
+		p = o == t
+	case CMPOpNe:
+		p = o != t
+	case CMPOpLtu:
+		p = o < t
+	case CMPOpLts:
+		p = so < st
+	case CMPOpGeu:
+		p = o >= t
+	case CMPOpGes:
+		p = so >= st
+	case CMPOpGtu:
+		p = o > t
+	case CMPOpGts:
+		p = so > st
+	}
+	if p {
+		return 1
+	}
+	return 0
+}
+
+// buildCMPCore emits the comparator core: equality, unsigned and signed
+// less-than chains plus a predicate decoder.
+func buildCMPCore(b *netlist.Builder, width int, o, t, op []netlist.Net) []netlist.Net {
+	eq := buildEqual(b, o, t)
+	ltu := buildLessUnsigned(b, o, t)
+	lts := buildLessSigned(b, o, t)
+
+	// Select the base relation from op[1] (eq vs lt) and op[2]+op[1]
+	// (gt/ge group), signedness from op[0] within the lt group.
+	lt := b.Mux(op[0], ltu, lts)
+	// base by op[2:1]: 00 -> eq, 01 -> lt, 10 -> ge = !lt, 11 -> gt = !lt & !eq
+	ge := b.Not(lt)
+	gt := b.And(ge, b.Not(eq))
+	low := b.Mux(op[1], eq, lt)
+	high := b.Mux(op[1], ge, gt)
+	base := b.Mux(op[2], low, high)
+	// eq group: op[0] selects ne = !eq. Only applies when op[2:1] == 00.
+	isEqGroup := b.Nor(op[1], op[2])
+	inv := b.And(isEqGroup, op[0])
+	pred := b.Xor(base, inv)
+
+	res := make([]netlist.Net, width)
+	zero := b.Const(false)
+	res[0] = pred
+	for i := 1; i < width; i++ {
+		res[i] = zero
+	}
+	return res
+}
+
+// NewCMP generates the comparator component.
+func NewCMP(width int) (*Component, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("gatelib: CMP width %d < 2", width)
+	}
+	name := fmt.Sprintf("cmp%d", width)
+	core := func(b *netlist.Builder, o, t, op []netlist.Net) []netlist.Net {
+		return buildCMPCore(b, width, o, t, op)
+	}
+	comb, err := buildCombWrapper(name+"_core", width, CMPOpBits, core)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := buildPipelinedWrapper(name, width, CMPOpBits, core)
+	if err != nil {
+		return nil, err
+	}
+	return &Component{
+		Kind:  KindCMP,
+		Name:  name,
+		Comb:  comb,
+		Seq:   seq,
+		NumIn: 2, NumOut: 1,
+		Width: width,
+	}, nil
+}

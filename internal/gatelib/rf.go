@@ -1,0 +1,133 @@
+package gatelib
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// addrBits returns the address-field width for n registers.
+func addrBits(n int) int {
+	b := 1
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// buildDecoder emits a one-hot address decoder over 2^len(addr) outputs,
+// truncated to n entries.
+func buildDecoder(b *netlist.Builder, addr []netlist.Net, n int) []netlist.Net {
+	out := make([]netlist.Net, n)
+	inv := make([]netlist.Net, len(addr))
+	for i, a := range addr {
+		inv[i] = b.Not(a)
+	}
+	for r := 0; r < n; r++ {
+		terms := make([]netlist.Net, len(addr))
+		for i := range addr {
+			if r>>uint(i)&1 == 1 {
+				terms[i] = addr[i]
+			} else {
+				terms[i] = inv[i]
+			}
+		}
+		out[r] = b.And(terms...)
+	}
+	return out
+}
+
+// NewRF generates a flip-flop-based multi-port register file: NumIn write
+// ports (address, data, write-enable each) and NumOut read ports (address
+// in, data out). Later write ports take priority on a same-address,
+// same-cycle conflict.
+//
+// The paper's cost model treats register files as multi-ported memories
+// tested with march tests (internal/march provides n_p); the flip-flop
+// netlist generated here supplies the area model and the full-scan baseline
+// the paper argues against (scan of a FF-implemented RF is expensive —
+// Table 1's RF rows).
+func NewRF(cfg RFConfig) (*Component, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	name := cfg.String()
+	b := netlist.NewBuilder(name)
+	ab := addrBits(cfg.NumRegs)
+
+	type wport struct {
+		dec  []netlist.Net
+		data []netlist.Net
+		we   netlist.Net
+	}
+	wps := make([]wport, cfg.NumIn)
+	for j := 0; j < cfg.NumIn; j++ {
+		addr := b.InputBus(fmt.Sprintf("waddr%d", j), ab)
+		data := b.InputBus(fmt.Sprintf("wdata%d", j), cfg.Width)
+		we := b.Input(fmt.Sprintf("we%d", j))
+		wps[j] = wport{dec: buildDecoder(b, addr, cfg.NumRegs), data: data, we: we}
+	}
+
+	// Register bank with per-register write muxing.
+	regQ := make([][]netlist.Net, cfg.NumRegs)
+	for r := 0; r < cfg.NumRegs; r++ {
+		regQ[r] = make([]netlist.Net, cfg.Width)
+		for k := 0; k < cfg.Width; k++ {
+			q, ff := b.FFDecl(fmt.Sprintf("%s.r%d[%d]", name, r, k), false)
+			d := q
+			for j := 0; j < cfg.NumIn; j++ {
+				hit := b.And(wps[j].dec[r], wps[j].we)
+				d = b.Mux(hit, d, wps[j].data[k])
+			}
+			b.SetD(ff, d)
+			regQ[r][k] = q
+		}
+	}
+
+	// Read ports: mux tree per bit.
+	for j := 0; j < cfg.NumOut; j++ {
+		addr := b.InputBus(fmt.Sprintf("raddr%d", j), ab)
+		out := make([]netlist.Net, cfg.Width)
+		for k := 0; k < cfg.Width; k++ {
+			col := make([]netlist.Net, cfg.NumRegs)
+			for r := 0; r < cfg.NumRegs; r++ {
+				col[r] = regQ[r][k]
+			}
+			out[k] = buildMuxTree(b, addr, col)
+		}
+		b.OutputBus(fmt.Sprintf("rdata%d", j), out)
+	}
+
+	seq, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Component{
+		Kind:    KindRF,
+		Name:    name,
+		Seq:     seq,
+		NumIn:   cfg.NumIn,
+		NumOut:  cfg.NumOut,
+		Width:   cfg.Width,
+		NumRegs: cfg.NumRegs,
+	}, nil
+}
+
+// buildMuxTree selects entries[addr] with a binary mux tree; missing
+// entries (when len(entries) is not a power of two) fall back to entry 0.
+func buildMuxTree(b *netlist.Builder, addr []netlist.Net, entries []netlist.Net) netlist.Net {
+	cur := append([]netlist.Net(nil), entries...)
+	for level := 0; level < len(addr); level++ {
+		nxt := make([]netlist.Net, (len(cur)+1)/2)
+		for i := 0; i < len(nxt); i++ {
+			a0 := cur[2*i]
+			a1 := a0
+			if 2*i+1 < len(cur) {
+				a1 = cur[2*i+1]
+			}
+			nxt[i] = b.Mux(addr[level], a0, a1)
+		}
+		cur = nxt
+	}
+	return cur[0]
+}

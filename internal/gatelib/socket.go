@@ -1,0 +1,131 @@
+package gatelib
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Socket generators, after the paper's figures 4 and 5. The control unit of
+// a TTA is distributed over the sockets: each socket watches the ID field
+// of a move on its bus, matches it against its hard-wired socket ID,
+// decodes, and stages the transfer through the F_in (input socket) or
+// F_out (output socket) flip-flop — the instruction-decode cycle of
+// relations (6)-(8). Socket state is tested with full scan (test cost
+// f_ts = n_p * n_l, eq. 13), and the socket test doubles as the datapath
+// interconnect test.
+
+// socketID returns the hard-wired ID pattern for the generated socket
+// (alternating bits, representative of an arbitrary assignment).
+func socketID(idBits int) uint64 {
+	var id uint64
+	for i := 0; i < idBits; i += 2 {
+		id |= 1 << uint(i)
+	}
+	return id
+}
+
+// buildIDMatch emits the ID comparison against the hard-wired pattern.
+func buildIDMatch(b *netlist.Builder, busID []netlist.Net, id uint64) netlist.Net {
+	terms := make([]netlist.Net, len(busID))
+	for i := range busID {
+		if id>>uint(i)&1 == 1 {
+			terms[i] = busID[i]
+		} else {
+			terms[i] = b.Not(busID[i])
+		}
+	}
+	return b.And(terms...)
+}
+
+// NewInputSocket generates the input socket of figure 4: ID match, decode,
+// the F_in staging flip-flop and a two-bit stage-control handshake
+// (idle -> armed -> fired) guaranteeing C(O|T) - C(F_in) >= 1, relations
+// (6)-(7).
+//
+// Ports:
+//
+//	inputs:  bus_id (destination ID field), bus_valid, squash
+//	outputs: load_en (register load enable), busy
+func NewInputSocket(idBits int) (*Component, error) {
+	if idBits < 2 {
+		return nil, fmt.Errorf("gatelib: socket ID width %d < 2", idBits)
+	}
+	name := fmt.Sprintf("isock%d", idBits)
+	b := netlist.NewBuilder(name)
+	busID := b.InputBus("bus_id", idBits)
+	valid := b.Input("bus_valid")
+	squash := b.Input("squash")
+
+	match := buildIDMatch(b, busID, socketID(idBits))
+	fire := b.And(match, valid, b.Not(squash))
+
+	// F_in stages the decoded enable for one cycle (relation (6)).
+	fin := b.DFF(name+".Fin", fire, false)
+
+	// Stage control handshake: st1:st0 — 00 idle, 01 armed (F_in seen),
+	// 10 fired (enable issued), then back to idle.
+	st0q, st0 := b.FFDecl(name+".st0", false)
+	st1q, st1 := b.FFDecl(name+".st1", false)
+	idle := b.Nor(st0q, st1q)
+	armed := b.And(st0q, b.Not(st1q))
+	b.SetD(st0, b.And(idle, fin, b.Not(squash)))
+	b.SetD(st1, armed)
+
+	loadEn := b.And(armed, b.Not(squash))
+	b.Output("load_en", loadEn)
+	b.Output("busy", b.Or(st0q, st1q))
+	seq, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Component{
+		Kind:  KindInputSocket,
+		Name:  name,
+		Seq:   seq,
+		NumIn: 1, NumOut: 1,
+		Width: idBits,
+	}, nil
+}
+
+// NewOutputSocket generates the output socket: ID match on the source
+// field, the F_out staging flip-flop (relation (8): C(F_out) - C(R) >= 1)
+// and the bus drive enable.
+//
+// Ports:
+//
+//	inputs:  bus_id (source ID field), bus_valid, r_valid
+//	outputs: drive_en, stale (result waiting but not yet read)
+func NewOutputSocket(idBits int) (*Component, error) {
+	if idBits < 2 {
+		return nil, fmt.Errorf("gatelib: socket ID width %d < 2", idBits)
+	}
+	name := fmt.Sprintf("osock%d", idBits)
+	b := netlist.NewBuilder(name)
+	busID := b.InputBus("bus_id", idBits)
+	valid := b.Input("bus_valid")
+	rValid := b.Input("r_valid")
+
+	match := buildIDMatch(b, busID, socketID(idBits))
+	req := b.And(match, valid)
+
+	// pending: a result is latched and waiting to be transported.
+	pq, pf := b.FFDecl(name+".pending", false)
+	take := b.And(pq, req)
+	b.SetD(pf, b.Or(rValid, b.And(pq, b.Not(take))))
+
+	fout := b.DFF(name+".Fout", take, false)
+	b.Output("drive_en", fout)
+	b.Output("stale", b.And(pq, b.Not(req)))
+	seq, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Component{
+		Kind:  KindOutputSocket,
+		Name:  name,
+		Seq:   seq,
+		NumIn: 1, NumOut: 1,
+		Width: idBits,
+	}, nil
+}

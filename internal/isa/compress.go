@@ -1,0 +1,80 @@
+package isa
+
+import "fmt"
+
+// Dictionary compression of instruction streams. TTA move words are wide
+// and highly repetitive (the same transport patterns recur every loop
+// iteration), so the classic remedy is a dictionary of unique words plus a
+// narrow index stream — instruction memory holds indices, a small
+// decompressor ROM holds the words. Compress/Decompress implement exactly
+// that and the ratio feeds the exploration's code-size considerations.
+
+// Compressed is a dictionary-compressed instruction stream.
+type Compressed struct {
+	// Dict holds the unique instruction words in first-appearance order.
+	Dict [][]uint64
+	// Indices is the program as dictionary references.
+	Indices []int
+	// IndexBits is the width of one index.
+	IndexBits int
+	// WordBits is the width of one dictionary word.
+	WordBits int
+}
+
+// Compress builds the dictionary form of the program.
+func (p *Program) Compress() *Compressed {
+	c := &Compressed{WordBits: p.Format.InstrBits()}
+	seen := map[string]int{}
+	for _, w := range p.Words {
+		key := wordKey(w)
+		idx, ok := seen[key]
+		if !ok {
+			idx = len(c.Dict)
+			seen[key] = idx
+			c.Dict = append(c.Dict, w)
+		}
+		c.Indices = append(c.Indices, idx)
+	}
+	c.IndexBits = 1
+	for 1<<uint(c.IndexBits) < len(c.Dict) {
+		c.IndexBits++
+	}
+	return c
+}
+
+func wordKey(w []uint64) string {
+	b := make([]byte, 0, len(w)*8)
+	for _, limb := range w {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(limb>>uint(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// TotalBits returns the compressed footprint: the index stream plus the
+// dictionary ROM.
+func (c *Compressed) TotalBits() int {
+	return len(c.Indices)*c.IndexBits + len(c.Dict)*c.WordBits
+}
+
+// Ratio returns compressed/original size (< 1 when compression helps).
+func (c *Compressed) Ratio(original *Program) float64 {
+	orig := original.CodeBits()
+	if orig == 0 {
+		return 1
+	}
+	return float64(c.TotalBits()) / float64(orig)
+}
+
+// Decompress reconstructs the raw word stream.
+func (c *Compressed) Decompress() ([][]uint64, error) {
+	out := make([][]uint64, len(c.Indices))
+	for i, idx := range c.Indices {
+		if idx < 0 || idx >= len(c.Dict) {
+			return nil, fmt.Errorf("isa: index %d outside dictionary of %d", idx, len(c.Dict))
+		}
+		out[i] = c.Dict[idx]
+	}
+	return out, nil
+}

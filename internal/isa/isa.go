@@ -1,0 +1,364 @@
+// Package isa encodes scheduled move programs into TTA long instruction
+// words and back. A TTA instruction (the "move word" of the MOVE
+// framework) holds one move slot per bus — each slot addressing a source
+// output socket and a destination input socket — plus one shared immediate
+// field per Immediate unit. Register-file endpoints carry a register index
+// subfield; trigger slots carry the operation code (in real MOVE machines
+// the opcode is folded into the trigger socket's address space; the
+// explicit field here is equivalent and easier to read in disassembly).
+//
+// The encoder gives the exploration a code-size axis (instruction width x
+// program length) and the decoder proves the format is lossless.
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/tta"
+)
+
+// SocketRef identifies one bus connector (component, port).
+type SocketRef struct {
+	Comp int
+	Port int
+}
+
+// Format is the instruction format derived from an architecture.
+type Format struct {
+	Arch *tta.Architecture
+
+	// Output sockets are move sources; input sockets are destinations.
+	// Index 0 of each space is reserved for "no move" (idle slot).
+	srcOf map[SocketRef]int
+	dstOf map[SocketRef]int
+	srcs  []SocketRef // 1-based: srcs[id-1]
+	dsts  []SocketRef
+
+	SrcBits int
+	DstBits int
+	RegBits int
+	OpBits  int
+	ImmBits int
+}
+
+// NewFormat derives the format for an architecture.
+func NewFormat(arch *tta.Architecture) (*Format, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Format{
+		Arch:  arch,
+		srcOf: map[SocketRef]int{},
+		dstOf: map[SocketRef]int{},
+	}
+	maxRegs := 2
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		if c.NumRegs > maxRegs {
+			maxRegs = c.NumRegs
+		}
+		for pi, p := range c.Ports {
+			ref := SocketRef{Comp: ci, Port: pi}
+			if p.Role.IsInput() {
+				f.dsts = append(f.dsts, ref)
+				f.dstOf[ref] = len(f.dsts) // 1-based
+			} else {
+				f.srcs = append(f.srcs, ref)
+				f.srcOf[ref] = len(f.srcs)
+			}
+		}
+	}
+	f.SrcBits = bitsFor(len(f.srcs) + 1)
+	f.DstBits = bitsFor(len(f.dsts) + 1)
+	f.RegBits = bitsFor(maxRegs)
+	f.OpBits = 4 // 3-bit FU opcode + the LD/ST store flag
+	f.ImmBits = arch.Width
+	return f, nil
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// SlotBits is the width of one move slot.
+func (f *Format) SlotBits() int {
+	return f.SrcBits + f.DstBits + 2*f.RegBits + f.OpBits
+}
+
+// SrcRefs returns the source sockets in ID order (socket ID i+1 is
+// SrcRefs()[i]; ID 0 is the idle slot).
+func (f *Format) SrcRefs() []SocketRef { return f.srcs }
+
+// DstRefs returns the destination sockets in ID order.
+func (f *Format) DstRefs() []SocketRef { return f.dsts }
+
+// SrcID returns the source-socket ID of a component port (0 if it is not
+// a source).
+func (f *Format) SrcID(ref SocketRef) int { return f.srcOf[ref] }
+
+// DstID returns the destination-socket ID of a component port (0 if it is
+// not a destination).
+func (f *Format) DstID(ref SocketRef) int { return f.dstOf[ref] }
+
+// InstrBits is the width of a full instruction word: one slot per bus plus
+// one immediate field per Immediate unit.
+func (f *Format) InstrBits() int {
+	imms := len(f.Arch.ComponentsOf(tta.IMM))
+	return f.Arch.Buses*f.SlotBits() + imms*f.ImmBits
+}
+
+// Slot is one decoded move slot.
+type Slot struct {
+	Valid  bool
+	Src    SocketRef
+	Dst    SocketRef
+	SrcReg int
+	DstReg int
+	Op     int
+}
+
+// Instruction is one decoded long instruction word.
+type Instruction struct {
+	Cycle int
+	Slots []Slot
+	Imm   uint64
+}
+
+// Program is an encoded move program.
+type Program struct {
+	Format *Format
+	Words  [][]uint64 // raw instruction words, InstrBits wide, LSB-first u64 limbs
+	Instrs []Instruction
+}
+
+// CodeBits returns the total instruction-memory footprint in bits.
+func (p *Program) CodeBits() int { return len(p.Words) * p.Format.InstrBits() }
+
+// opcodeOf derives the slot opcode for a trigger move.
+func opcodeOf(g *program.Graph, m sched.Move) (int, error) {
+	switch m.Spill {
+	case sched.SpillStoreData:
+		return 8 | 1, nil // LD/ST, store flag
+	case sched.SpillLoadTrig:
+		return 8 | 0, nil
+	case sched.SpillNone:
+	default:
+		return 0, fmt.Errorf("isa: spill kind %d is not a trigger", m.Spill)
+	}
+	op := g.Ops[m.Op].Op
+	switch op {
+	case program.Add:
+		return 0, nil
+	case program.Sub:
+		return 1, nil
+	case program.Sll:
+		return 2, nil
+	case program.Srl:
+		return 3, nil
+	case program.And:
+		return 4, nil
+	case program.Or:
+		return 5, nil
+	case program.Xor:
+		return 6, nil
+	case program.Eq, program.Ne, program.Ltu, program.Lts, program.Geu, program.Ges, program.Gtu, program.Gts:
+		return int(op - program.Eq), nil
+	case program.Load:
+		return 8 | 0, nil
+	case program.Store:
+		return 8 | 1, nil
+	default:
+		return 0, fmt.Errorf("isa: opcode %s has no trigger encoding", op)
+	}
+}
+
+// Encode turns a schedule into instruction words, one per cycle from 0 to
+// the last move cycle.
+func Encode(res *sched.Result) (*Program, error) {
+	f, err := NewFormat(res.Arch)
+	if err != nil {
+		return nil, err
+	}
+	byCycle := map[int][]sched.Move{}
+	last := 0
+	for _, m := range res.Moves {
+		byCycle[m.Cycle] = append(byCycle[m.Cycle], m)
+		if m.Cycle > last {
+			last = m.Cycle
+		}
+	}
+	p := &Program{Format: f}
+	for cyc := 0; cyc <= last; cyc++ {
+		ins := Instruction{Cycle: cyc, Slots: make([]Slot, f.Arch.Buses)}
+		immSet := false
+		for si, m := range byCycle[cyc] {
+			if si >= f.Arch.Buses {
+				return nil, fmt.Errorf("isa: cycle %d has more moves than buses", cyc)
+			}
+			slot := Slot{Valid: true,
+				Src: SocketRef{m.Src.Comp, m.Src.Port}, SrcReg: maxInt(m.Src.Reg, 0),
+				Dst: SocketRef{m.Dst.Comp, m.Dst.Port}, DstReg: maxInt(m.Dst.Reg, 0)}
+			if f.srcOf[slot.Src] == 0 {
+				return nil, fmt.Errorf("isa: move %v reads a non-source socket", m)
+			}
+			if f.dstOf[slot.Dst] == 0 {
+				return nil, fmt.Errorf("isa: move %v writes a non-destination socket", m)
+			}
+			if f.Arch.Components[m.Src.Comp].Kind == tta.IMM {
+				if immSet && ins.Imm != m.Src.Imm {
+					return nil, fmt.Errorf("isa: cycle %d needs two immediates", cyc)
+				}
+				ins.Imm = m.Src.Imm
+				immSet = true
+			}
+			if m.Trigger {
+				op, err := opcodeOf(res.Graph, m)
+				if err != nil {
+					return nil, err
+				}
+				slot.Op = op
+			}
+			ins.Slots[si] = slot
+		}
+		p.Instrs = append(p.Instrs, ins)
+		p.Words = append(p.Words, f.pack(&ins))
+	}
+	return p, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pack serializes an instruction into LSB-first 64-bit limbs.
+func (f *Format) pack(ins *Instruction) []uint64 {
+	w := newBitWriter((f.InstrBits() + 63) / 64)
+	for _, s := range ins.Slots {
+		src, dst := 0, 0
+		if s.Valid {
+			src = f.srcOf[s.Src]
+			dst = f.dstOf[s.Dst]
+		}
+		w.put(uint64(src), f.SrcBits)
+		w.put(uint64(dst), f.DstBits)
+		w.put(uint64(s.SrcReg), f.RegBits)
+		w.put(uint64(s.DstReg), f.RegBits)
+		w.put(uint64(s.Op), f.OpBits)
+	}
+	for range f.Arch.ComponentsOf(tta.IMM) {
+		w.put(ins.Imm, f.ImmBits)
+	}
+	return w.limbs
+}
+
+// Decode parses one raw instruction word back into slots.
+func (f *Format) Decode(word []uint64, cycle int) (Instruction, error) {
+	r := &bitReader{limbs: word}
+	ins := Instruction{Cycle: cycle, Slots: make([]Slot, f.Arch.Buses)}
+	for si := range ins.Slots {
+		src := int(r.get(f.SrcBits))
+		dst := int(r.get(f.DstBits))
+		srcReg := int(r.get(f.RegBits))
+		dstReg := int(r.get(f.RegBits))
+		op := int(r.get(f.OpBits))
+		if src == 0 && dst == 0 {
+			continue // idle slot
+		}
+		if src == 0 || src > len(f.srcs) || dst == 0 || dst > len(f.dsts) {
+			return ins, fmt.Errorf("isa: slot %d has invalid socket ids %d->%d", si, src, dst)
+		}
+		ins.Slots[si] = Slot{
+			Valid: true,
+			Src:   f.srcs[src-1], Dst: f.dsts[dst-1],
+			SrcReg: srcReg, DstReg: dstReg, Op: op,
+		}
+	}
+	for range f.Arch.ComponentsOf(tta.IMM) {
+		ins.Imm = r.get(f.ImmBits)
+	}
+	return ins, nil
+}
+
+// Disassemble renders the program as one line per instruction.
+func (p *Program) Disassemble() []string {
+	var out []string
+	for _, ins := range p.Instrs {
+		var parts []string
+		for _, s := range ins.Slots {
+			if !s.Valid {
+				parts = append(parts, "nop")
+				continue
+			}
+			parts = append(parts, p.Format.slotString(s, ins.Imm))
+		}
+		out = append(out, fmt.Sprintf("%4d: %s", ins.Cycle, strings.Join(parts, " ; ")))
+	}
+	return out
+}
+
+func (f *Format) slotString(s Slot, imm uint64) string {
+	src := f.endpointString(s.Src, s.SrcReg, imm)
+	dst := f.endpointString(s.Dst, s.DstReg, 0)
+	c := &f.Arch.Components[s.Dst.Comp]
+	if c.Ports[s.Dst.Port].Role == tta.Trigger {
+		return fmt.Sprintf("%s -> %s.op%d", src, dst, s.Op)
+	}
+	return fmt.Sprintf("%s -> %s", src, dst)
+}
+
+func (f *Format) endpointString(ref SocketRef, reg int, imm uint64) string {
+	c := &f.Arch.Components[ref.Comp]
+	switch c.Kind {
+	case tta.IMM:
+		return fmt.Sprintf("#%d", imm)
+	case tta.RF:
+		return fmt.Sprintf("%s.r%d", c.Name, reg)
+	default:
+		return fmt.Sprintf("%s.%s", c.Name, c.Ports[ref.Port].Role)
+	}
+}
+
+// bitWriter packs little-endian bit fields into 64-bit limbs.
+type bitWriter struct {
+	limbs []uint64
+	pos   int
+}
+
+func newBitWriter(nLimbs int) *bitWriter {
+	return &bitWriter{limbs: make([]uint64, nLimbs)}
+}
+
+func (w *bitWriter) put(v uint64, bits int) {
+	for i := 0; i < bits; i++ {
+		if v>>uint(i)&1 == 1 {
+			w.limbs[w.pos/64] |= 1 << uint(w.pos%64)
+		}
+		w.pos++
+	}
+}
+
+type bitReader struct {
+	limbs []uint64
+	pos   int
+}
+
+func (r *bitReader) get(bits int) uint64 {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		if r.pos/64 < len(r.limbs) && r.limbs[r.pos/64]>>uint(r.pos%64)&1 == 1 {
+			v |= 1 << uint(i)
+		}
+		r.pos++
+	}
+	return v
+}

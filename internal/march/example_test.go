@@ -1,0 +1,30 @@
+package march_test
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// ExampleTest_Run detects a stuck-at cell with March C-.
+func ExampleTest_Run() {
+	good := march.NewRAM(8)
+	fmt.Println("good memory:", march.MarchCMinus.Run(good, 16, 0) == nil)
+
+	faulty := &march.SAF{M: march.NewRAM(8), Addr: 3, Bit: 5, Value: 1}
+	fail := march.MarchCMinus.Run(faulty, 16, 0)
+	fmt.Println("fault found at word:", fail.Addr)
+	// Output:
+	// good memory: true
+	// fault found at word: 3
+}
+
+// ExampleTest_PatternCount shows the register-file pattern counts feeding
+// the paper's equation (12).
+func ExampleTest_PatternCount() {
+	fmt.Println("RF1 (8 regs):", march.MarchCMinus.PatternCount(8))
+	fmt.Println("RF2 (12 regs):", march.MarchCMinus.PatternCount(12))
+	// Output:
+	// RF1 (8 regs): 80
+	// RF2 (12 regs): 120
+}

@@ -1,0 +1,168 @@
+package march
+
+// Faulty memory models: a good RAM wrapped with classic functional fault
+// behaviours, used to validate which march algorithms detect which fault
+// classes (van de Goor's fault taxonomy).
+
+// RAM is a fault-free word-oriented memory.
+type RAM struct {
+	words []uint64
+}
+
+// NewRAM returns a zero-initialized memory of n words.
+func NewRAM(n int) *RAM { return &RAM{words: make([]uint64, n)} }
+
+// Write stores v at addr.
+func (r *RAM) Write(addr int, v uint64) { r.words[addr] = v }
+
+// Read returns the word at addr.
+func (r *RAM) Read(addr int) uint64 { return r.words[addr] }
+
+// Size returns the word count.
+func (r *RAM) Size() int { return len(r.words) }
+
+// SAF wraps a memory with a stuck-at fault: bit `bit` of word `addr` is
+// stuck at `value`.
+type SAF struct {
+	M     Memory
+	Addr  int
+	Bit   uint
+	Value uint64 // 0 or 1
+}
+
+func (f *SAF) force(v uint64) uint64 {
+	v &^= 1 << f.Bit
+	v |= f.Value << f.Bit
+	return v
+}
+
+// Write stores v; the stuck bit ignores the written value.
+func (f *SAF) Write(addr int, v uint64) {
+	if addr == f.Addr {
+		v = f.force(v)
+	}
+	f.M.Write(addr, v)
+}
+
+// Read returns the stored word with the stuck bit forced.
+func (f *SAF) Read(addr int) uint64 {
+	v := f.M.Read(addr)
+	if addr == f.Addr {
+		v = f.force(v)
+	}
+	return v
+}
+
+// Size returns the word count.
+func (f *SAF) Size() int { return f.M.Size() }
+
+// TF wraps a memory with an up-transition fault: bit `bit` of word `addr`
+// cannot transition from 0 to 1 (it can be initialized to 1 only by the
+// fault-free power-on state, which is 0 here, so effectively it sticks at
+// its current value when a rising write is attempted).
+type TF struct {
+	M    Memory
+	Addr int
+	Bit  uint
+}
+
+// Write stores v, suppressing a 0->1 transition of the faulty bit.
+func (f *TF) Write(addr int, v uint64) {
+	if addr == f.Addr {
+		old := f.M.Read(addr)
+		if old>>f.Bit&1 == 0 && v>>f.Bit&1 == 1 {
+			v &^= 1 << f.Bit // rising transition fails
+		}
+	}
+	f.M.Write(addr, v)
+}
+
+// Read returns the stored word.
+func (f *TF) Read(addr int) uint64 { return f.M.Read(addr) }
+
+// Size returns the word count.
+func (f *TF) Size() int { return f.M.Size() }
+
+// CFin wraps a memory with an inversion coupling fault: a write that
+// causes a transition of bit `Bit` in the aggressor word inverts the same
+// bit of the victim word.
+type CFin struct {
+	M          Memory
+	Aggressor  int
+	Victim     int
+	Bit        uint
+	transition uint64
+}
+
+// Write stores v and applies the coupling inversion on aggressor
+// transitions.
+func (f *CFin) Write(addr int, v uint64) {
+	if addr == f.Aggressor {
+		old := f.M.Read(addr)
+		if (old^v)>>f.Bit&1 == 1 {
+			vic := f.M.Read(f.Victim)
+			f.M.Write(f.Victim, vic^(1<<f.Bit))
+		}
+	}
+	f.M.Write(addr, v)
+}
+
+// Read returns the stored word.
+func (f *CFin) Read(addr int) uint64 { return f.M.Read(addr) }
+
+// Size returns the word count.
+func (f *CFin) Size() int { return f.M.Size() }
+
+// ADF wraps a memory with an address-decoder fault: accesses to BadAddr
+// are redirected to MappedTo (cell never addressed on its own).
+type ADF struct {
+	M        Memory
+	BadAddr  int
+	MappedTo int
+}
+
+func (f *ADF) redirect(addr int) int {
+	if addr == f.BadAddr {
+		return f.MappedTo
+	}
+	return addr
+}
+
+// Write stores v at the (possibly redirected) address.
+func (f *ADF) Write(addr int, v uint64) { f.M.Write(f.redirect(addr), v) }
+
+// Read loads from the (possibly redirected) address.
+func (f *ADF) Read(addr int) uint64 { return f.M.Read(f.redirect(addr)) }
+
+// Size returns the word count.
+func (f *ADF) Size() int { return f.M.Size() }
+
+// AdjacentShort models an intra-word defect: bits Bit and Bit+1 of one
+// word are resistively shorted and read back as the wired-AND of the two
+// stored values. With solid data backgrounds the two bits always hold the
+// same value, so the short is invisible; a checkerboard background
+// sensitizes it.
+type AdjacentShort struct {
+	M    Memory
+	Addr int
+	Bit  uint
+}
+
+// Write stores v unchanged (the short corrupts reads, not the cells).
+func (f *AdjacentShort) Write(addr int, v uint64) { f.M.Write(addr, v) }
+
+// Read returns the word with the shorted pair wired-AND.
+func (f *AdjacentShort) Read(addr int) uint64 {
+	v := f.M.Read(addr)
+	if addr == f.Addr {
+		a := v >> f.Bit & 1
+		b := v >> (f.Bit + 1) & 1
+		and := a & b
+		v &^= 1<<f.Bit | 1<<(f.Bit+1)
+		v |= and<<f.Bit | and<<(f.Bit+1)
+	}
+	return v
+}
+
+// Size returns the word count.
+func (f *AdjacentShort) Size() int { return f.M.Size() }

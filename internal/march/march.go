@@ -1,0 +1,216 @@
+// Package march implements the march memory-test algorithms used to derive
+// the register-file pattern counts n_p of the paper's test cost function
+// (12) — register files in a TTA are implemented as multi-ported memories
+// and tested with marching patterns (van de Goor [14]), with port
+// restrictions handled after Hamdioui & van de Goor [15].
+//
+// The package provides the classic algorithms (MATS+, March C-, March B)
+// as executable element sequences, a word-oriented memory model with
+// injectable functional faults, and the pattern/cycle counting used by the
+// cost model.
+package march
+
+import "fmt"
+
+// Op is one memory operation of a march element. Reads carry the expected
+// value (the data background or its complement).
+type Op uint8
+
+// March operations: write/read the solid background (0) or its complement
+// (1).
+const (
+	W0 Op = iota
+	W1
+	R0
+	R1
+)
+
+func (o Op) String() string {
+	return [...]string{"w0", "w1", "r0", "r1"}[o]
+}
+
+// AddrOrder is the addressing order of a march element.
+type AddrOrder uint8
+
+// Addressing orders: ascending, descending, or irrelevant.
+const (
+	Up AddrOrder = iota
+	Down
+	Any
+)
+
+func (a AddrOrder) String() string {
+	return [...]string{"up", "down", "any"}[a]
+}
+
+// Element is one march element: an addressing order and the operations
+// applied to every cell before moving to the next.
+type Element struct {
+	Order AddrOrder
+	Ops   []Op
+}
+
+// Test is a complete march test.
+type Test struct {
+	Name     string
+	Elements []Element
+}
+
+// MATSPlus is MATS+ (5N): {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}. Detects all
+// address-decoder faults and stuck-at faults, but not all coupling faults.
+var MATSPlus = Test{
+	Name: "MATS+",
+	Elements: []Element{
+		{Any, []Op{W0}},
+		{Up, []Op{R0, W1}},
+		{Down, []Op{R1, W0}},
+	},
+}
+
+// MarchCMinus is March C- (10N): detects SAFs, transition faults,
+// address-decoder faults and unlinked idempotent/inversion coupling faults.
+var MarchCMinus = Test{
+	Name: "MarchC-",
+	Elements: []Element{
+		{Any, []Op{W0}},
+		{Up, []Op{R0, W1}},
+		{Up, []Op{R1, W0}},
+		{Down, []Op{R0, W1}},
+		{Down, []Op{R1, W0}},
+		{Any, []Op{R0}},
+	},
+}
+
+// MarchB is March B (17N): additionally detects linked faults.
+var MarchB = Test{
+	Name: "MarchB",
+	Elements: []Element{
+		{Any, []Op{W0}},
+		{Up, []Op{R0, W1, R1, W0, R0, W1}},
+		{Up, []Op{R1, W0, W1}},
+		{Down, []Op{R1, W0, W1, W0}},
+		{Down, []Op{R0, W1, W0}},
+	},
+}
+
+// OpsPerCell returns the number of operations applied to each cell (the
+// "xN" factor of the algorithm's usual name).
+func (t Test) OpsPerCell() int {
+	n := 0
+	for _, e := range t.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// PatternCount returns n_p for a memory of the given number of cells
+// (words, for the word-oriented register-file usage): every operation is
+// one applied pattern.
+func (t Test) PatternCount(cells int) int {
+	return t.OpsPerCell() * cells
+}
+
+func (t Test) String() string {
+	return fmt.Sprintf("%s (%dN)", t.Name, t.OpsPerCell())
+}
+
+// Memory abstracts the word-oriented memory under test. Read returns the
+// stored word; the march runner compares it with the expected background.
+type Memory interface {
+	Write(addr int, v uint64)
+	Read(addr int) uint64
+	Size() int
+}
+
+// Failure describes the first mismatch observed by a march run.
+type Failure struct {
+	Element int
+	OpIndex int
+	Addr    int
+	Got     uint64
+	Want    uint64
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("march: element %d op %d addr %d: read %#x, want %#x",
+		f.Element, f.OpIndex, f.Addr, f.Got, f.Want)
+}
+
+// Run executes the march test over the memory using the solid data
+// background bg (and its complement within width bits). It returns nil if
+// the memory behaves correctly and a *Failure at the first detection.
+func (t Test) Run(m Memory, width int, bg uint64) *Failure {
+	mask := uint64(1)<<uint(width) - 1
+	b0 := bg & mask
+	b1 := ^bg & mask
+	n := m.Size()
+	for ei, e := range t.Elements {
+		addrs := make([]int, n)
+		for i := range addrs {
+			if e.Order == Down {
+				addrs[i] = n - 1 - i
+			} else {
+				addrs[i] = i
+			}
+		}
+		for _, addr := range addrs {
+			for oi, op := range e.Ops {
+				switch op {
+				case W0:
+					m.Write(addr, b0)
+				case W1:
+					m.Write(addr, b1)
+				case R0:
+					if got := m.Read(addr); got != b0 {
+						return &Failure{Element: ei, OpIndex: oi, Addr: addr, Got: got, Want: b0}
+					}
+				case R1:
+					if got := m.Read(addr); got != b1 {
+						return &Failure{Element: ei, OpIndex: oi, Addr: addr, Got: got, Want: b1}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MultiPortPatternCount extends the single-port pattern count with the
+// port-interaction tests required for multi-port memories (after [15]):
+// every ordered pair of distinct ports must be exercised for inter-port
+// shorts and concurrency faults, adding 2N operations per pair of ports
+// drawn from the write and read port sets.
+func MultiPortPatternCount(t Test, cells, nIn, nOut int) int {
+	base := t.PatternCount(cells)
+	ports := nIn + nOut
+	if ports <= 2 {
+		return base
+	}
+	pairs := ports * (ports - 1) / 2
+	// A simple single-port memory already has one write + one read port;
+	// only the additional pairs cost extra.
+	pairs--
+	if pairs < 0 {
+		pairs = 0
+	}
+	return base + 2*cells*pairs
+}
+
+// StandardBackgrounds are the classic word-oriented data backgrounds: the
+// solid background exercises inter-word faults; the checkerboard puts
+// opposite values on adjacent bits within a word, sensitizing intra-word
+// shorts that solid data can never expose.
+var StandardBackgrounds = []uint64{0x0000, 0xAAAA}
+
+// RunWithBackgrounds executes the march test once per data background and
+// returns the first failure (tagging nothing extra; the failure's values
+// identify the background). The pattern count scales linearly:
+// PatternCount(cells) * len(backgrounds).
+func (t Test) RunWithBackgrounds(m Memory, width int, backgrounds []uint64) *Failure {
+	for _, bg := range backgrounds {
+		if f := t.Run(m, width, bg); f != nil {
+			return f
+		}
+	}
+	return nil
+}

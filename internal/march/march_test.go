@@ -1,0 +1,191 @@
+package march
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOpsPerCellMatchNames(t *testing.T) {
+	if got := MATSPlus.OpsPerCell(); got != 5 {
+		t.Errorf("MATS+ is %dN, want 5N", got)
+	}
+	if got := MarchCMinus.OpsPerCell(); got != 10 {
+		t.Errorf("March C- is %dN, want 10N", got)
+	}
+	if got := MarchB.OpsPerCell(); got != 17 {
+		t.Errorf("March B is %dN, want 17N", got)
+	}
+}
+
+func TestPatternCount(t *testing.T) {
+	if got := MarchCMinus.PatternCount(8); got != 80 {
+		t.Errorf("March C- over 8 words: %d patterns, want 80", got)
+	}
+	if got := MATSPlus.PatternCount(12); got != 60 {
+		t.Errorf("MATS+ over 12 words: %d patterns, want 60", got)
+	}
+}
+
+func TestGoodMemoryPassesAllTests(t *testing.T) {
+	for _, alg := range []Test{MATSPlus, MarchCMinus, MarchB} {
+		for _, bg := range []uint64{0x0000, 0xA5A5} {
+			m := NewRAM(16)
+			if f := alg.Run(m, 16, bg); f != nil {
+				t.Errorf("%s(bg=%#x) failed on fault-free memory: %v", alg.Name, bg, f)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsDetectStuckAt(t *testing.T) {
+	for _, alg := range []Test{MATSPlus, MarchCMinus, MarchB} {
+		for _, sa := range []uint64{0, 1} {
+			for _, addr := range []int{0, 7, 15} {
+				m := &SAF{M: NewRAM(16), Addr: addr, Bit: 3, Value: sa}
+				if f := alg.Run(m, 16, 0); f == nil {
+					t.Errorf("%s missed SAF%d at word %d", alg.Name, sa, addr)
+				}
+			}
+		}
+	}
+}
+
+func TestTransitionFaultDetection(t *testing.T) {
+	// An up-transition fault must be caught by March C- and March B (write
+	// 1, later read 1). MATS+ also catches simple TFs via its r1 element.
+	for _, alg := range []Test{MATSPlus, MarchCMinus, MarchB} {
+		m := &TF{M: NewRAM(8), Addr: 4, Bit: 0}
+		if f := alg.Run(m, 8, 0); f == nil {
+			t.Errorf("%s missed up-transition fault", alg.Name)
+		}
+	}
+}
+
+func TestMarchCMinusDetectsInversionCoupling(t *testing.T) {
+	// CFin in both aggressor/victim address orders: the symmetric up and
+	// down elements of March C- catch both; MATS+ provably misses some.
+	for _, pair := range [][2]int{{2, 9}, {9, 2}} {
+		m := &CFin{M: NewRAM(16), Aggressor: pair[0], Victim: pair[1], Bit: 5}
+		if f := MarchCMinus.Run(m, 16, 0); f == nil {
+			t.Errorf("March C- missed CFin aggressor=%d victim=%d", pair[0], pair[1])
+		}
+	}
+}
+
+func TestMATSPlusWeakerThanMarchCMinusOnCoupling(t *testing.T) {
+	// Find at least one CFin configuration MATS+ misses while March C-
+	// detects it — the classical coverage separation between 5N and 10N.
+	missed, caught := 0, 0
+	for agg := 0; agg < 8; agg++ {
+		for vic := 0; vic < 8; vic++ {
+			if agg == vic {
+				continue
+			}
+			mMats := &CFin{M: NewRAM(8), Aggressor: agg, Victim: vic, Bit: 1}
+			mC := &CFin{M: NewRAM(8), Aggressor: agg, Victim: vic, Bit: 1}
+			fMats := MATSPlus.Run(mMats, 8, 0)
+			fC := MarchCMinus.Run(mC, 8, 0)
+			if fC == nil {
+				t.Fatalf("March C- missed CFin agg=%d vic=%d", agg, vic)
+			}
+			if fMats == nil {
+				missed++
+			} else {
+				caught++
+			}
+		}
+	}
+	if missed == 0 {
+		t.Error("MATS+ detected every CFin; expected a coverage gap vs March C-")
+	}
+	if caught == 0 {
+		t.Error("MATS+ caught no CFin at all; runner suspicious")
+	}
+}
+
+func TestAddressDecoderFaultDetection(t *testing.T) {
+	for _, alg := range []Test{MATSPlus, MarchCMinus, MarchB} {
+		m := &ADF{M: NewRAM(8), BadAddr: 3, MappedTo: 5}
+		if f := alg.Run(m, 8, 0); f == nil {
+			t.Errorf("%s missed address-decoder fault", alg.Name)
+		}
+	}
+}
+
+func TestMultiPortPatternCount(t *testing.T) {
+	base := MarchCMinus.PatternCount(8)
+	// 1w+1r = 2 ports: no extra pairs beyond the baseline.
+	if got := MultiPortPatternCount(MarchCMinus, 8, 1, 1); got != base {
+		t.Errorf("2-port count %d, want base %d", got, base)
+	}
+	// 1w+2r = 3 ports: 3 pairs, minus the baseline pair = 2 extra pairs.
+	want := base + 2*8*2
+	if got := MultiPortPatternCount(MarchCMinus, 8, 1, 2); got != want {
+		t.Errorf("3-port count %d, want %d", got, want)
+	}
+	// More ports must never cost less.
+	prev := 0
+	for ports := 2; ports <= 6; ports++ {
+		got := MultiPortPatternCount(MarchCMinus, 8, 1, ports-1)
+		if got < prev {
+			t.Errorf("pattern count not monotone in ports: %d after %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestFailureError(t *testing.T) {
+	f := &Failure{Element: 1, OpIndex: 0, Addr: 3, Got: 0, Want: 1}
+	if f.Error() == "" {
+		t.Fatal("empty failure message")
+	}
+}
+
+func TestRunHonoursWidthMask(t *testing.T) {
+	// Background wider than the memory width must be masked, not trip the
+	// comparison.
+	m := NewRAM(4)
+	if f := MarchCMinus.Run(m, 8, 0xFFFF); f != nil {
+		t.Fatalf("width masking broken: %v", f)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []fmt.Stringer{W0, W1, R0, R1, Up, Down, Any, MATSPlus, MarchCMinus, MarchB} {
+		if s.String() == "" {
+			t.Fatalf("empty String() for %T", s)
+		}
+	}
+}
+
+func TestAdjacentShortNeedsCheckerboard(t *testing.T) {
+	// Solid backgrounds can never sensitize an intra-word short...
+	for _, bg := range []uint64{0x0000, 0xFFFF} {
+		m := &AdjacentShort{M: NewRAM(8), Addr: 3, Bit: 4}
+		if f := MarchCMinus.Run(m, 16, bg); f != nil {
+			t.Errorf("solid background %#x claimed to detect an intra-word short: %v", bg, f)
+		}
+	}
+	// ...the checkerboard does.
+	m := &AdjacentShort{M: NewRAM(8), Addr: 3, Bit: 4}
+	if f := MarchCMinus.Run(m, 16, 0xAAAA); f == nil {
+		t.Error("checkerboard missed the intra-word short")
+	}
+	// And the multi-background runner therefore catches it.
+	m2 := &AdjacentShort{M: NewRAM(8), Addr: 3, Bit: 4}
+	if f := MarchCMinus.RunWithBackgrounds(m2, 16, StandardBackgrounds); f == nil {
+		t.Error("standard backgrounds missed the intra-word short")
+	}
+}
+
+func TestRunWithBackgroundsGoodMemory(t *testing.T) {
+	m := NewRAM(8)
+	if f := MarchCMinus.RunWithBackgrounds(m, 16, StandardBackgrounds); f != nil {
+		t.Fatalf("fault-free memory failed: %v", f)
+	}
+	// Classic faults are still caught through the multi-background runner.
+	saf := &SAF{M: NewRAM(8), Addr: 2, Bit: 9, Value: 0}
+	if f := MarchCMinus.RunWithBackgrounds(saf, 16, StandardBackgrounds); f == nil {
+		t.Error("SAF missed")
+	}
+}

@@ -1,0 +1,230 @@
+package march
+
+// Two-port march tests, after Hamdioui & van de Goor's "Consequences of
+// Port Restrictions on Testing Two-Port Memories" (the paper's reference
+// [15]): multi-port register files exhibit fault classes that only
+// simultaneous accesses through two ports can sensitize — weak reads
+// (two concurrent reads of one cell flip its value out), and inter-port
+// write disturbs. Single-port march algorithms, applied per port, cannot
+// detect them; the two-port elements here can.
+
+// NoOp marks an idle port within a two-port operation pair.
+const NoOp Op = 0xFF
+
+// TwoPortOp applies one operation per port in the same cycle. Addr
+// selection: PortB addresses the same cell (Same) or the previous cell
+// (Prev) relative to the marching address.
+type TwoPortOp struct {
+	A     Op
+	B     Op
+	BPrev bool // port B targets address-1 instead of the marching address
+}
+
+func (o TwoPortOp) String() string {
+	fa, fb := "-", "-"
+	if o.A != NoOp {
+		fa = o.A.String()
+	}
+	if o.B != NoOp {
+		fb = o.B.String()
+		if o.BPrev {
+			fb += "@prev"
+		}
+	}
+	return fa + ":" + fb
+}
+
+// TwoPortElement is one marching element of paired operations.
+type TwoPortElement struct {
+	Order AddrOrder
+	Ops   []TwoPortOp
+}
+
+// TwoPortTest is a complete two-port march test.
+type TwoPortTest struct {
+	Name     string
+	Elements []TwoPortElement
+}
+
+// March2PF is a compact two-port test: an initialization sweep, a
+// simultaneous double-read sweep in both data polarities (sensitizing
+// weak-read faults), and a write-while-read-neighbour sweep (sensitizing
+// inter-port disturbs).
+var March2PF = TwoPortTest{
+	Name: "March2PF",
+	Elements: []TwoPortElement{
+		{Any, []TwoPortOp{{A: W0, B: NoOp}}},
+		{Up, []TwoPortOp{{A: R0, B: R0}, {A: W1, B: NoOp}}},
+		{Up, []TwoPortOp{{A: R1, B: R1}, {A: W0, B: NoOp}}},
+		{Down, []TwoPortOp{{A: W1, B: R0, BPrev: true}, {A: R1, B: NoOp}}},
+		{Any, []TwoPortOp{{A: R1, B: R1}}},
+	},
+}
+
+// OpsPerCell counts the operation pairs applied per cell.
+func (t TwoPortTest) OpsPerCell() int {
+	n := 0
+	for _, e := range t.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// PatternCount is the applied pattern count over a memory of `cells`
+// words (each pair is one pattern: both ports fire in the same cycle).
+func (t TwoPortTest) PatternCount(cells int) int { return t.OpsPerCell() * cells }
+
+// TwoPortMemory is a memory accessed through two simultaneous ports.
+// Access performs at most one operation per port in one cycle and returns
+// the read values (valid when the respective op was a read).
+type TwoPortMemory interface {
+	Size() int
+	Access(addrA int, opA Op, valA uint64, addrB int, opB Op, valB uint64) (readA, readB uint64)
+}
+
+// Run executes the two-port test with the solid background bg. It reports
+// the first mismatch.
+func (t TwoPortTest) Run(m TwoPortMemory, width int, bg uint64) *Failure {
+	mask := uint64(1)<<uint(width) - 1
+	b0 := bg & mask
+	b1 := ^bg & mask
+	val := func(op Op) uint64 {
+		if op == W1 || op == R1 {
+			return b1
+		}
+		return b0
+	}
+	n := m.Size()
+	for ei, e := range t.Elements {
+		for step := 0; step < n; step++ {
+			addr := step
+			if e.Order == Down {
+				addr = n - 1 - step
+			}
+			for oi, pair := range e.Ops {
+				addrB := addr
+				opA, opB := pair.A, pair.B
+				if pair.BPrev {
+					if addr == 0 {
+						opB = NoOp // no untouched predecessor cell
+					} else {
+						addrB = addr - 1
+					}
+				}
+				ra, rb := m.Access(addr, opA, val(opA), addrB, opB, val(opB))
+				if opA == R0 || opA == R1 {
+					if want := val(opA); ra != want {
+						return &Failure{Element: ei, OpIndex: oi, Addr: addr, Got: ra, Want: want}
+					}
+				}
+				if opB == R0 || opB == R1 {
+					// Element 4's port-B read targets the previous cell,
+					// which the down sweep has already rewritten to 1.
+					want := val(opB)
+					if rb != want {
+						return &Failure{Element: ei, OpIndex: oi, Addr: addrB, Got: rb, Want: want}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- Two-port memory models ---
+
+// TwoPortRAM is a fault-free two-port memory (write port A wins on a
+// same-address write-write conflict).
+type TwoPortRAM struct {
+	words []uint64
+}
+
+// NewTwoPortRAM returns a zero-initialized two-port memory.
+func NewTwoPortRAM(n int) *TwoPortRAM { return &TwoPortRAM{words: make([]uint64, n)} }
+
+// Size returns the word count.
+func (r *TwoPortRAM) Size() int { return len(r.words) }
+
+// Access performs the two port operations in one cycle.
+func (r *TwoPortRAM) Access(addrA int, opA Op, valA uint64, addrB int, opB Op, valB uint64) (uint64, uint64) {
+	var ra, rb uint64
+	if opA == R0 || opA == R1 {
+		ra = r.words[addrA]
+	}
+	if opB == R0 || opB == R1 {
+		rb = r.words[addrB]
+	}
+	if opB == W0 || opB == W1 {
+		r.words[addrB] = valB
+	}
+	if opA == W0 || opA == W1 {
+		r.words[addrA] = valA
+	}
+	return ra, rb
+}
+
+// WeakReadFault models the classic two-port weak cell: when BOTH ports
+// read the same cell simultaneously, the doubled bit-line load flips the
+// sensed value of one bit. Single-port sequences never sensitize it.
+type WeakReadFault struct {
+	M    *TwoPortRAM
+	Addr int
+	Bit  uint
+}
+
+// Size returns the word count.
+func (f *WeakReadFault) Size() int { return f.M.Size() }
+
+// Access injects the weak-read behaviour on simultaneous same-cell reads.
+func (f *WeakReadFault) Access(addrA int, opA Op, valA uint64, addrB int, opB Op, valB uint64) (uint64, uint64) {
+	ra, rb := f.M.Access(addrA, opA, valA, addrB, opB, valB)
+	bothRead := (opA == R0 || opA == R1) && (opB == R0 || opB == R1)
+	if bothRead && addrA == addrB && addrA == f.Addr {
+		ra ^= 1 << f.Bit
+	}
+	return ra, rb
+}
+
+// PortDisturbFault models an inter-port disturb: a write through port A
+// while port B reads a *different* cell corrupts the read of the victim
+// bit (shared-bitline coupling).
+type PortDisturbFault struct {
+	M      *TwoPortRAM
+	Victim int
+	Bit    uint
+}
+
+// Size returns the word count.
+func (f *PortDisturbFault) Size() int { return f.M.Size() }
+
+// Access injects the disturb on concurrent write(A)/read(B) cycles.
+func (f *PortDisturbFault) Access(addrA int, opA Op, valA uint64, addrB int, opB Op, valB uint64) (uint64, uint64) {
+	ra, rb := f.M.Access(addrA, opA, valA, addrB, opB, valB)
+	writeA := opA == W0 || opA == W1
+	readB := opB == R0 || opB == R1
+	if writeA && readB && addrA != addrB && addrB == f.Victim {
+		rb ^= 1 << f.Bit
+	}
+	return ra, rb
+}
+
+// SinglePortView adapts a two-port memory to the single-port Memory
+// interface (port A only) — used to demonstrate that single-port marches
+// cannot see two-port faults.
+type SinglePortView struct {
+	M TwoPortMemory
+}
+
+// Size returns the word count.
+func (v *SinglePortView) Size() int { return v.M.Size() }
+
+// Write stores through port A only.
+func (v *SinglePortView) Write(addr int, val uint64) {
+	v.M.Access(addr, W1, val, 0, NoOp, 0)
+}
+
+// Read loads through port A only.
+func (v *SinglePortView) Read(addr int) uint64 {
+	ra, _ := v.M.Access(addr, R0, 0, 0, NoOp, 0)
+	return ra
+}

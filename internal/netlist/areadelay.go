@@ -1,0 +1,191 @@
+package netlist
+
+// Area and delay models. Area is expressed in NAND2-equivalent gate units;
+// delay in normalized gate delays (one NAND2 = 1.0). Multi-input gates are
+// costed as the balanced tree of 2-input gates a technology mapper would
+// produce, which keeps the model monotone in fan-in.
+
+// Cell cost constants (NAND2-equivalents and normalized delays). The values
+// follow the usual standard-cell ratios (e.g. an XOR2 is ~2.5 NAND2 areas,
+// a scannable DFF ~6.5).
+const (
+	areaNand2 = 1.0
+	areaNor2  = 1.0
+	areaAnd2  = 1.25
+	areaOr2   = 1.25
+	areaXor2  = 2.5
+	areaXnor2 = 2.5
+	areaMux2  = 2.5
+	areaInv   = 0.5
+	areaBuf   = 0.75
+	// AreaDFF is the area of a plain D flip-flop in NAND2 equivalents.
+	AreaDFF = 5.0
+	// AreaScanDFF is the area of a scannable (muxed-D) flip-flop.
+	AreaScanDFF = 6.5
+
+	delayNand2 = 1.0
+	delayNor2  = 1.0
+	delayAnd2  = 1.25
+	delayOr2   = 1.25
+	delayXor2  = 1.8
+	delayXnor2 = 1.8
+	delayMux2  = 1.6
+	delayInv   = 0.5
+	delayBuf   = 0.6
+)
+
+// treeStages returns the number of 2-input stages in a balanced reduction
+// tree over n leaves (0 for n<=1).
+func treeStages(n int) int {
+	s := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		s++
+	}
+	return s
+}
+
+// GateArea returns the NAND2-equivalent area of one gate instance.
+func GateArea(t GateType, fanin int) float64 {
+	if fanin < 1 {
+		fanin = 1
+	}
+	pairs := float64(fanin - 1) // 2-input cells in a reduction tree
+	switch t {
+	case Const0, Const1:
+		return 0
+	case Buf:
+		return areaBuf
+	case Not:
+		return areaInv
+	case And:
+		if fanin == 1 {
+			return areaBuf
+		}
+		return pairs * areaAnd2
+	case Or:
+		if fanin == 1 {
+			return areaBuf
+		}
+		return pairs * areaOr2
+	case Nand:
+		if fanin == 1 {
+			return areaInv
+		}
+		if fanin == 2 {
+			return areaNand2
+		}
+		return (pairs-1)*areaAnd2 + areaNand2
+	case Nor:
+		if fanin == 1 {
+			return areaInv
+		}
+		if fanin == 2 {
+			return areaNor2
+		}
+		return (pairs-1)*areaOr2 + areaNor2
+	case Xor:
+		if fanin == 1 {
+			return areaBuf
+		}
+		return pairs * areaXor2
+	case Xnor:
+		if fanin == 1 {
+			return areaInv
+		}
+		return (pairs-1)*areaXor2 + areaXnor2
+	case Mux2:
+		return areaMux2
+	default:
+		return areaNand2
+	}
+}
+
+// GateDelay returns the normalized propagation delay of one gate instance,
+// modeling multi-input gates as balanced trees of 2-input cells.
+func GateDelay(t GateType, fanin int) float64 {
+	if fanin < 1 {
+		fanin = 1
+	}
+	st := float64(treeStages(fanin))
+	if st == 0 {
+		st = 1
+	}
+	switch t {
+	case Const0, Const1:
+		return 0
+	case Buf:
+		return delayBuf
+	case Not:
+		return delayInv
+	case And:
+		return st * delayAnd2
+	case Or:
+		return st * delayOr2
+	case Nand:
+		if fanin <= 2 {
+			return delayNand2
+		}
+		return (st-1)*delayAnd2 + delayNand2
+	case Nor:
+		if fanin <= 2 {
+			return delayNor2
+		}
+		return (st-1)*delayOr2 + delayNor2
+	case Xor:
+		return st * delayXor2
+	case Xnor:
+		if fanin <= 2 {
+			return delayXnor2
+		}
+		return (st-1)*delayXor2 + delayXnor2
+	case Mux2:
+		return delayMux2
+	default:
+		return delayNand2
+	}
+}
+
+// Area returns the total cell area of the netlist (gates + plain DFFs) in
+// NAND2-equivalent units.
+func (n *Netlist) Area() float64 {
+	a := 0.0
+	for _, g := range n.Gates {
+		a += GateArea(g.Type, len(g.In))
+	}
+	a += float64(len(n.FFs)) * AreaDFF
+	return a
+}
+
+// AreaWithScan returns the cell area when every flip-flop is replaced by a
+// scannable flip-flop (the full-scan DfT variant of the same netlist).
+func (n *Netlist) AreaWithScan() float64 {
+	a := 0.0
+	for _, g := range n.Gates {
+		a += GateArea(g.Type, len(g.In))
+	}
+	a += float64(len(n.FFs)) * AreaScanDFF
+	return a
+}
+
+// CriticalPath returns the longest register-to-register /input-to-output
+// combinational delay through the netlist, in normalized gate delays.
+func (n *Netlist) CriticalPath() float64 {
+	arrive := make([]float64, n.numNets)
+	worst := 0.0
+	for _, gi := range n.order {
+		g := &n.Gates[gi]
+		t := 0.0
+		for _, in := range g.In {
+			if arrive[in] > t {
+				t = arrive[in]
+			}
+		}
+		t += GateDelay(g.Type, len(g.In))
+		arrive[g.Out] = t
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

@@ -1,0 +1,196 @@
+package netlist
+
+import "fmt"
+
+// State holds 64 parallel evaluation contexts for one netlist: every net
+// carries a 64-bit word, bit k belonging to pattern k. This is the classic
+// parallel-pattern representation used for fast logic and fault simulation.
+type State struct {
+	n     *Netlist
+	words []uint64 // per-net values
+	ffQ   []uint64 // latched flip-flop state (mirrors words at Q nets)
+}
+
+// NewState allocates an evaluation state with flip-flops at their declared
+// init values (replicated across all 64 pattern lanes).
+func NewState(n *Netlist) *State {
+	s := &State{
+		n:     n,
+		words: make([]uint64, n.numNets),
+		ffQ:   make([]uint64, len(n.FFs)),
+	}
+	s.ResetFFs()
+	return s
+}
+
+// ResetFFs forces every flip-flop back to its declared init value in all
+// lanes.
+func (s *State) ResetFFs() {
+	for i, ff := range s.n.FFs {
+		v := uint64(0)
+		if ff.Init {
+			v = ^uint64(0)
+		}
+		s.ffQ[i] = v
+	}
+}
+
+// SetInput assigns the 64-lane word of a primary input net.
+func (s *State) SetInput(x Net, w uint64) {
+	s.words[x] = w
+}
+
+// SetInputBus assigns an integer value to an input port in every lane k for
+// which the corresponding bit in lanes is set; lanes==^0 assigns all lanes.
+// Bit i of value goes to port net i.
+func (s *State) SetInputBus(p Port, value uint64) {
+	for i, x := range p.Nets {
+		if value>>uint(i)&1 == 1 {
+			s.words[x] = ^uint64(0)
+		} else {
+			s.words[x] = 0
+		}
+	}
+}
+
+// SetInputPattern assigns bit `lane` of each input-port net from value.
+func (s *State) SetInputPattern(p Port, value uint64, lane int) {
+	m := uint64(1) << uint(lane)
+	for i, x := range p.Nets {
+		if value>>uint(i)&1 == 1 {
+			s.words[x] |= m
+		} else {
+			s.words[x] &^= m
+		}
+	}
+}
+
+// Word returns the 64-lane word currently on a net (valid after Eval).
+func (s *State) Word(x Net) uint64 { return s.words[x] }
+
+// SetFF overrides the latched state of flip-flop index i (all lanes).
+func (s *State) SetFF(i int, w uint64) { s.ffQ[i] = w }
+
+// FFWord returns the latched 64-lane state of flip-flop index i.
+func (s *State) FFWord(i int) uint64 { return s.ffQ[i] }
+
+// Eval propagates the current primary-input words and latched flip-flop
+// state through the combinational logic. It does not clock the flip-flops.
+func (s *State) Eval() {
+	n := s.n
+	for i, ff := range n.FFs {
+		s.words[ff.Q] = s.ffQ[i]
+	}
+	for _, gi := range n.order {
+		g := &n.Gates[gi]
+		s.words[g.Out] = evalGate(g, s.words)
+	}
+}
+
+// Step clocks every flip-flop: Q <- D using the most recent Eval results.
+// Callers must Eval first.
+func (s *State) Step() {
+	for i, ff := range s.n.FFs {
+		s.ffQ[i] = s.words[ff.D]
+	}
+}
+
+// Cycle performs Eval followed by Step, i.e. one full clock cycle.
+func (s *State) Cycle() {
+	s.Eval()
+	s.Step()
+}
+
+// OutputBusValue decodes the value of a multi-bit output port in a single
+// lane into an integer (bit i of the result from port net i).
+func (s *State) OutputBusValue(p Port, lane int) uint64 {
+	var v uint64
+	m := uint64(1) << uint(lane)
+	for i, x := range p.Nets {
+		if s.words[x]&m != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// BusValue is OutputBusValue for any set of nets (after Eval).
+func (s *State) BusValue(nets []Net, lane int) uint64 {
+	var v uint64
+	m := uint64(1) << uint(lane)
+	for i, x := range nets {
+		if s.words[x]&m != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func evalGate(g *Gate, w []uint64) uint64 {
+	switch g.Type {
+	case Const0:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Buf:
+		return w[g.In[0]]
+	case Not:
+		return ^w[g.In[0]]
+	case And, Nand:
+		v := w[g.In[0]]
+		for _, in := range g.In[1:] {
+			v &= w[in]
+		}
+		if g.Type == Nand {
+			v = ^v
+		}
+		return v
+	case Or, Nor:
+		v := w[g.In[0]]
+		for _, in := range g.In[1:] {
+			v |= w[in]
+		}
+		if g.Type == Nor {
+			v = ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := w[g.In[0]]
+		for _, in := range g.In[1:] {
+			v ^= w[in]
+		}
+		if g.Type == Xnor {
+			v = ^v
+		}
+		return v
+	case Mux2:
+		sel, a0, a1 := w[g.In[0]], w[g.In[1]], w[g.In[2]]
+		return a0&^sel | a1&sel
+	default:
+		panic(fmt.Sprintf("netlist: unknown gate type %d", g.Type))
+	}
+}
+
+// EvalFunc evaluates the netlist as a pure combinational function: inputs
+// is a map from input-port name to integer value; the return maps every
+// output-port name to its decoded integer value. Flip-flop state is taken
+// from (and updated into) st when st is non-nil; otherwise a throwaway
+// state with init values is used. Only lane 0 is meaningful.
+func EvalFunc(n *Netlist, inputs map[string]uint64, st *State) (map[string]uint64, error) {
+	if st == nil {
+		st = NewState(n)
+	}
+	for name, v := range inputs {
+		p, ok := n.InputPort(name)
+		if !ok {
+			return nil, fmt.Errorf("netlist %q: no input port %q", n.Name, name)
+		}
+		st.SetInputBus(p, v)
+	}
+	st.Eval()
+	out := make(map[string]uint64, len(n.OutputPorts))
+	for _, p := range n.OutputPorts {
+		out[p.Name] = st.OutputBusValue(p, 0)
+	}
+	return out, nil
+}

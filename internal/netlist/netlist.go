@@ -1,0 +1,251 @@
+// Package netlist provides a gate-level structural netlist representation
+// together with levelization, parallel logic evaluation, and area/delay
+// models. It is the substrate on which the component library
+// (internal/gatelib) and the test generation flow (internal/atpg,
+// internal/scan) are built.
+//
+// A netlist is a directed graph of single-output gates over a dense set of
+// nets. Every net is driven by exactly one source: a primary input, the Q
+// output of a D flip-flop, or a gate output. Combinational cycles are
+// rejected at build time; feedback must go through flip-flops.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GateType enumerates the supported gate primitives.
+type GateType uint8
+
+// Gate primitives. And/Or/Nand/Nor/Xor/Xnor accept arbitrary fan-in >= 1
+// (fan-in 1 behaves as Buf, or Not for the inverting types). Mux2 has the
+// fixed input order (sel, a0, a1) and selects a1 when sel is 1.
+const (
+	Const0 GateType = iota
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Mux2
+
+	numGateTypes
+)
+
+var gateNames = [numGateTypes]string{
+	Const0: "const0",
+	Const1: "const1",
+	Buf:    "buf",
+	Not:    "not",
+	And:    "and",
+	Or:     "or",
+	Nand:   "nand",
+	Nor:    "nor",
+	Xor:    "xor",
+	Xnor:   "xnor",
+	Mux2:   "mux2",
+}
+
+func (t GateType) String() string {
+	if int(t) < len(gateNames) {
+		return gateNames[t]
+	}
+	return fmt.Sprintf("gate(%d)", uint8(t))
+}
+
+// Net identifies a net (signal) in a netlist. Nets are dense indices
+// starting at 0. InvalidNet marks an unconnected position.
+type Net int32
+
+// InvalidNet is the zero-like sentinel for an unconnected net reference.
+const InvalidNet Net = -1
+
+// Gate is a single-output logic gate.
+type Gate struct {
+	Type GateType
+	Out  Net
+	In   []Net
+}
+
+// FF is a D flip-flop. On every clock step Q takes the value of D. Init
+// gives the reset value used by the evaluator when a state is created.
+type FF struct {
+	Name string
+	D    Net
+	Q    Net
+	Init bool
+}
+
+// Port is a named, ordered group of nets forming an input or output bus of
+// the netlist (LSB first).
+type Port struct {
+	Name string
+	Nets []Net
+}
+
+// Width returns the number of bits in the port.
+func (p Port) Width() int { return len(p.Nets) }
+
+// DriverKind distinguishes what drives a given net.
+type DriverKind uint8
+
+// Driver kinds for Netlist.Driver.
+const (
+	DriverNone DriverKind = iota // undriven (invalid after Build)
+	DriverPI                     // primary input
+	DriverFF                     // flip-flop Q output
+	DriverGate                   // gate output
+)
+
+// Driver describes the unique source of a net.
+type Driver struct {
+	Kind  DriverKind
+	Index int32 // index into Inputs flat list, FFs, or Gates
+}
+
+// Netlist is an immutable gate-level circuit produced by a Builder.
+type Netlist struct {
+	Name string
+
+	Gates []Gate
+	FFs   []FF
+
+	// InputPorts and OutputPorts are the declared port groups, in
+	// declaration order. PIs and POs are the flattened net lists.
+	InputPorts  []Port
+	OutputPorts []Port
+	PIs         []Net
+	POs         []Net
+
+	numNets  int
+	netName  []string
+	drivers  []Driver
+	level    []int32 // per-gate topological level (source level 0)
+	order    []int32 // gate indices in topological order
+	maxLevel int32
+}
+
+// NumNets returns the total number of nets.
+func (n *Netlist) NumNets() int { return n.numNets }
+
+// NetName returns the declared name of a net, or a synthetic "n<i>" name.
+func (n *Netlist) NetName(x Net) string {
+	if x >= 0 && int(x) < len(n.netName) && n.netName[x] != "" {
+		return n.netName[x]
+	}
+	return fmt.Sprintf("n%d", x)
+}
+
+// Driver returns the driver record for a net.
+func (n *Netlist) Driver(x Net) Driver { return n.drivers[x] }
+
+// TopoOrder returns gate indices in a valid topological evaluation order.
+// The slice is shared; callers must not modify it.
+func (n *Netlist) TopoOrder() []int32 { return n.order }
+
+// Level returns the topological level of gate g (inputs at level 0).
+func (n *Netlist) Level(g int32) int32 { return n.level[g] }
+
+// Depth returns the maximum combinational level in the netlist.
+func (n *Netlist) Depth() int32 { return n.maxLevel }
+
+// InputPort returns the named input port.
+func (n *Netlist) InputPort(name string) (Port, bool) {
+	for _, p := range n.InputPorts {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// OutputPort returns the named output port.
+func (n *Netlist) OutputPort(name string) (Port, bool) {
+	for _, p := range n.OutputPorts {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// FFByName returns the index of the flip-flop with the given name.
+func (n *Netlist) FFByName(name string) (int, bool) {
+	for i, ff := range n.FFs {
+		if ff.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Stats summarises the structural content of a netlist.
+type Stats struct {
+	Gates     int
+	FFs       int
+	Nets      int
+	PIs       int
+	POs       int
+	Depth     int
+	ByType    map[GateType]int
+	AreaUnits float64
+}
+
+// Stats computes summary statistics for the netlist.
+func (n *Netlist) Stats() Stats {
+	s := Stats{
+		Gates:  len(n.Gates),
+		FFs:    len(n.FFs),
+		Nets:   n.numNets,
+		PIs:    len(n.PIs),
+		POs:    len(n.POs),
+		Depth:  int(n.maxLevel),
+		ByType: make(map[GateType]int),
+	}
+	for _, g := range n.Gates {
+		s.ByType[g.Type]++
+	}
+	s.AreaUnits = n.Area()
+	return s
+}
+
+// String renders a short human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gates=%d ffs=%d nets=%d pi=%d po=%d depth=%d area=%.1f",
+		s.Gates, s.FFs, s.Nets, s.PIs, s.POs, s.Depth, s.AreaUnits)
+	types := make([]GateType, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		fmt.Fprintf(&b, " %s=%d", t, s.ByType[t])
+	}
+	return b.String()
+}
+
+// FanoutTable returns, for every net, the list of (gate, pin) loads. Pin i
+// is input position i of the gate. Flip-flop D pins and primary outputs are
+// not included; they are tracked separately by consumers that need them.
+func (n *Netlist) FanoutTable() [][]Load {
+	fan := make([][]Load, n.numNets)
+	for gi, g := range n.Gates {
+		for pin, in := range g.In {
+			fan[in] = append(fan[in], Load{Gate: int32(gi), Pin: int8(pin)})
+		}
+	}
+	return fan
+}
+
+// Load is a (gate, input-pin) pair fed by some net.
+type Load struct {
+	Gate int32
+	Pin  int8
+}

@@ -1,0 +1,488 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildFullAdder(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("fa")
+	a := b.Input("a")
+	x := b.Input("b")
+	ci := b.Input("ci")
+	s1 := b.Xor(a, x)
+	sum := b.Xor(s1, ci)
+	co := b.Or(b.And(a, x), b.And(s1, ci))
+	b.Output("sum", sum)
+	b.Output("co", co)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("build full adder: %v", err)
+	}
+	return n
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	n := buildFullAdder(t)
+	st := NewState(n)
+	for v := uint64(0); v < 8; v++ {
+		a, x, ci := v&1, v>>1&1, v>>2&1
+		pa, _ := n.InputPort("a")
+		pb, _ := n.InputPort("b")
+		pc, _ := n.InputPort("ci")
+		st.SetInputBus(pa, a)
+		st.SetInputBus(pb, x)
+		st.SetInputBus(pc, ci)
+		st.Eval()
+		ps, _ := n.OutputPort("sum")
+		pco, _ := n.OutputPort("co")
+		gotSum := st.OutputBusValue(ps, 0)
+		gotCo := st.OutputBusValue(pco, 0)
+		total := a + x + ci
+		if gotSum != total&1 || gotCo != total>>1 {
+			t.Errorf("fa(%d,%d,%d): sum=%d co=%d, want %d %d", a, x, ci, gotSum, gotCo, total&1, total>>1)
+		}
+	}
+}
+
+func TestParallelLanesIndependent(t *testing.T) {
+	n := buildFullAdder(t)
+	st := NewState(n)
+	pa, _ := n.InputPort("a")
+	pb, _ := n.InputPort("b")
+	pc, _ := n.InputPort("ci")
+	// Lane k gets input pattern k (mod 8).
+	for lane := 0; lane < 64; lane++ {
+		v := uint64(lane % 8)
+		st.SetInputPattern(pa, v&1, lane)
+		st.SetInputPattern(pb, v>>1&1, lane)
+		st.SetInputPattern(pc, v>>2&1, lane)
+	}
+	st.Eval()
+	ps, _ := n.OutputPort("sum")
+	pco, _ := n.OutputPort("co")
+	for lane := 0; lane < 64; lane++ {
+		v := uint64(lane % 8)
+		total := v&1 + v>>1&1 + v>>2&1
+		if got := st.OutputBusValue(ps, lane); got != total&1 {
+			t.Fatalf("lane %d sum=%d want %d", lane, got, total&1)
+		}
+		if got := st.OutputBusValue(pco, lane); got != total>>1 {
+			t.Fatalf("lane %d co=%d want %d", lane, got, total>>1)
+		}
+	}
+}
+
+func TestAllGateTypesEval(t *testing.T) {
+	b := NewBuilder("gates")
+	a := b.Input("a")
+	x := b.Input("b")
+	b.Output("and", b.And(a, x))
+	b.Output("or", b.Or(a, x))
+	b.Output("nand", b.Nand(a, x))
+	b.Output("nor", b.Nor(a, x))
+	b.Output("xor", b.Xor(a, x))
+	b.Output("xnor", b.Xnor(a, x))
+	b.Output("not", b.Not(a))
+	b.Output("buf", b.Buf(a))
+	b.Output("mux", b.Mux(a, x, b.Not(x)))
+	b.Output("c0", b.Const(false))
+	b.Output("c1", b.Const(true))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := func(av, bv uint64) map[string]uint64 {
+		inv := func(v uint64) uint64 { return v ^ 1 }
+		mux := bv
+		if av == 1 {
+			mux = inv(bv)
+		}
+		return map[string]uint64{
+			"and": av & bv, "or": av | bv,
+			"nand": inv(av & bv), "nor": inv(av | bv),
+			"xor": av ^ bv, "xnor": inv(av ^ bv),
+			"not": inv(av), "buf": av, "mux": mux,
+			"c0": 0, "c1": 1,
+		}
+	}
+	for v := uint64(0); v < 4; v++ {
+		got, err := EvalFunc(n, map[string]uint64{"a": v & 1, "b": v >> 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want(v&1, v>>1) {
+			if got[name] != w {
+				t.Errorf("inputs a=%d b=%d: %s=%d want %d", v&1, v>>1, name, got[name], w)
+			}
+		}
+	}
+}
+
+func TestWideGates(t *testing.T) {
+	b := NewBuilder("wide")
+	in := b.InputBus("x", 5)
+	b.Output("and", b.And(in...))
+	b.Output("or", b.Or(in...))
+	b.Output("xor", b.Xor(in...))
+	b.Output("nand", b.Nand(in...))
+	b.Output("nor", b.Nor(in...))
+	b.Output("xnor", b.Xnor(in...))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 32; v++ {
+		got, err := EvalFunc(n, map[string]uint64{"x": v}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := uint64(0)
+		if v == 31 {
+			all = 1
+		}
+		any := uint64(0)
+		if v != 0 {
+			any = 1
+		}
+		par := uint64(0)
+		for i := 0; i < 5; i++ {
+			par ^= v >> uint(i) & 1
+		}
+		if got["and"] != all || got["or"] != any || got["xor"] != par {
+			t.Fatalf("v=%05b: and=%d or=%d xor=%d", v, got["and"], got["or"], got["xor"])
+		}
+		if got["nand"] != all^1 || got["nor"] != any^1 || got["xnor"] != par^1 {
+			t.Fatalf("v=%05b: nand=%d nor=%d xnor=%d", v, got["nand"], got["nor"], got["xnor"])
+		}
+	}
+}
+
+func TestFlipFlopCycle(t *testing.T) {
+	// 3-bit ring counter: one-hot token rotates each cycle.
+	b := NewBuilder("ring")
+	q0, f0 := b.FFDecl("r0", true)
+	q1, f1 := b.FFDecl("r1", false)
+	q2, f2 := b.FFDecl("r2", false)
+	b.SetD(f1, q0)
+	b.SetD(f2, q1)
+	b.SetD(f0, q2)
+	b.Output("o0", q0)
+	b.Output("o1", q1)
+	b.Output("o2", q2)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(n)
+	wantHot := []int{0, 1, 2, 0, 1, 2}
+	for cyc, hot := range wantHot {
+		st.Eval()
+		for i := 0; i < 3; i++ {
+			want := uint64(0)
+			if i == hot {
+				want = 1
+			}
+			p, _ := n.OutputPort([]string{"o0", "o1", "o2"}[i])
+			if got := st.OutputBusValue(p, 0); got != want {
+				t.Fatalf("cycle %d: output %d = %d, want %d", cyc, i, got, want)
+			}
+		}
+		st.Step()
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	b := NewBuilder("cycle")
+	a := b.Input("a")
+	// Build a cycle by declaring an FF, using its Q, then... actually force
+	// a true combinational loop via two cross-coupled gates using FFDecl's
+	// net then rewiring is not possible through the public API, so emulate
+	// with a latch structure: out = or(a, and(out, a)) cannot be expressed.
+	// Instead check that an unconnected FF D is reported.
+	_, _ = b.FFDecl("ff", false)
+	b.Output("o", a)
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "unconnected D") {
+		t.Fatalf("expected unconnected-D error, got %v", err)
+	}
+}
+
+func TestDFFBusAndReset(t *testing.T) {
+	b := NewBuilder("reg")
+	d := b.InputBus("d", 4)
+	q := b.DFFBus("r", d, false)
+	b.OutputBus("q", q)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(n)
+	pd, _ := n.InputPort("d")
+	pq, _ := n.OutputPort("q")
+	st.SetInputBus(pd, 0b1010)
+	st.Eval()
+	if got := st.OutputBusValue(pq, 0); got != 0 {
+		t.Fatalf("before clock q=%d want 0", got)
+	}
+	st.Step()
+	st.Eval()
+	if got := st.OutputBusValue(pq, 0); got != 0b1010 {
+		t.Fatalf("after clock q=%04b want 1010", got)
+	}
+	st.ResetFFs()
+	st.Eval()
+	if got := st.OutputBusValue(pq, 0); got != 0 {
+		t.Fatalf("after reset q=%d want 0", got)
+	}
+}
+
+func TestUndrivenNetRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Input("a")
+	_ = a
+	// newNet via a gate with an invalid input triggers builder error.
+	b.Not(InvalidNet)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for invalid gate input")
+	}
+}
+
+func TestStatsAndAreaMonotone(t *testing.T) {
+	small := buildFullAdder(t)
+	b := NewBuilder("two-fa")
+	for k := 0; k < 2; k++ {
+		a := b.Input("a" + string(rune('0'+k)))
+		x := b.Input("b" + string(rune('0'+k)))
+		ci := b.Input("c" + string(rune('0'+k)))
+		s1 := b.Xor(a, x)
+		b.Output("s"+string(rune('0'+k)), b.Xor(s1, ci))
+		b.Output("co"+string(rune('0'+k)), b.Or(b.And(a, x), b.And(s1, ci)))
+	}
+	big, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Area() <= small.Area() {
+		t.Fatalf("area not monotone: 2xFA %.2f <= FA %.2f", big.Area(), small.Area())
+	}
+	st := small.Stats()
+	if st.Gates != 5 || st.PIs != 3 || st.POs != 2 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestScanAreaExceedsPlainArea(t *testing.T) {
+	b := NewBuilder("ffs")
+	d := b.InputBus("d", 8)
+	b.OutputBus("q", b.DFFBus("r", d, false))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.AreaWithScan() <= n.Area() {
+		t.Fatalf("scan area %.2f not greater than plain %.2f", n.AreaWithScan(), n.Area())
+	}
+}
+
+func TestCriticalPathGrowsWithDepth(t *testing.T) {
+	mk := func(depth int) *Netlist {
+		b := NewBuilder("chain")
+		x := b.Input("x")
+		y := b.Input("y")
+		v := x
+		for i := 0; i < depth; i++ {
+			v = b.Xor(v, y)
+		}
+		b.Output("o", v)
+		n, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if d1, d2 := mk(2).CriticalPath(), mk(8).CriticalPath(); d2 <= d1 {
+		t.Fatalf("critical path not monotone in depth: %f vs %f", d1, d2)
+	}
+}
+
+func TestLevelizationOrderValid(t *testing.T) {
+	// Build a random DAG and check that TopoOrder evaluates each gate only
+	// after all its input drivers.
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder("dag")
+	nets := b.InputBus("in", 8)
+	for i := 0; i < 200; i++ {
+		a := nets[rng.Intn(len(nets))]
+		c := nets[rng.Intn(len(nets))]
+		var o Net
+		switch rng.Intn(4) {
+		case 0:
+			o = b.And(a, c)
+		case 1:
+			o = b.Or(a, c)
+		case 2:
+			o = b.Xor(a, c)
+		default:
+			o = b.Nand(a, c)
+		}
+		nets = append(nets, o)
+	}
+	b.Output("o", nets[len(nets)-1])
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Net]bool)
+	for _, x := range n.PIs {
+		seen[x] = true
+	}
+	for _, gi := range n.TopoOrder() {
+		g := n.Gates[gi]
+		for _, in := range g.In {
+			if !seen[in] {
+				t.Fatalf("gate %d consumes unresolved net %d", gi, in)
+			}
+		}
+		seen[g.Out] = true
+	}
+	if len(n.TopoOrder()) != len(n.Gates) {
+		t.Fatalf("topo order covers %d of %d gates", len(n.TopoOrder()), len(n.Gates))
+	}
+}
+
+// Property: for random 2-input gate trees, 64-lane parallel evaluation in a
+// single Eval equals 64 independent single-lane evaluations.
+func TestQuickParallelEquivalence(t *testing.T) {
+	n := buildFullAdder(t)
+	pa, _ := n.InputPort("a")
+	pb, _ := n.InputPort("b")
+	pc, _ := n.InputPort("ci")
+	ps, _ := n.OutputPort("sum")
+	pco, _ := n.OutputPort("co")
+	f := func(aw, bw, cw uint64) bool {
+		par := NewState(n)
+		par.SetInput(pa.Nets[0], aw)
+		par.SetInput(pb.Nets[0], bw)
+		par.SetInput(pc.Nets[0], cw)
+		par.Eval()
+		for lane := 0; lane < 64; lane++ {
+			seq := NewState(n)
+			seq.SetInputBus(pa, aw>>uint(lane)&1)
+			seq.SetInputBus(pb, bw>>uint(lane)&1)
+			seq.SetInputBus(pc, cw>>uint(lane)&1)
+			seq.Eval()
+			if seq.OutputBusValue(ps, 0) != par.OutputBusValue(ps, lane) ||
+				seq.OutputBusValue(pco, 0) != par.OutputBusValue(pco, lane) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateAreaDelayTablesTotal(t *testing.T) {
+	for ty := GateType(0); ty < numGateTypes; ty++ {
+		for _, fanin := range []int{1, 2, 3, 7} {
+			if ty == Mux2 && fanin != 3 {
+				continue
+			}
+			a, d := GateArea(ty, fanin), GateDelay(ty, fanin)
+			if a < 0 || d < 0 {
+				t.Fatalf("%v fanin=%d: negative cost a=%f d=%f", ty, fanin, a, d)
+			}
+			if ty != Const0 && ty != Const1 && (a == 0 || d == 0) {
+				t.Fatalf("%v fanin=%d: zero cost a=%f d=%f", ty, fanin, a, d)
+			}
+		}
+	}
+}
+
+func TestAccessorsAndHelpers(t *testing.T) {
+	b := NewBuilder("acc")
+	a := b.InputBus("a", 2)
+	c := b.InputBus("c", 2)
+	sel := b.Input("s")
+	m := b.MuxBus(sel, a, c)
+	q := b.DFFBus("r", m, false)
+	b.OutputBus("q", q)
+	b.Name(m[0], "muxed0")
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NetName(m[0]) != "muxed0" {
+		t.Errorf("net name not recorded: %q", n.NetName(m[0]))
+	}
+	// Driver/Level/Depth accessors.
+	if n.Driver(m[0]).Kind != DriverGate {
+		t.Error("mux output not driven by a gate")
+	}
+	if n.Depth() < 1 {
+		t.Error("depth must be at least one gate level")
+	}
+	for _, gi := range n.TopoOrder() {
+		if n.Level(gi) < 0 || n.Level(gi) > n.Depth() {
+			t.Fatalf("gate %d level %d outside [0,%d]", gi, n.Level(gi), n.Depth())
+		}
+	}
+	// State access: SetFF/FFWord/Word/Cycle/BusValue.
+	st := NewState(n)
+	pa, _ := n.InputPort("a")
+	pc, _ := n.InputPort("c")
+	ps, _ := n.InputPort("s")
+	st.SetInputBus(pa, 0b01)
+	st.SetInputBus(pc, 0b10)
+	st.SetInputBus(ps, 1)
+	st.Cycle()
+	st.Eval()
+	pq, _ := n.OutputPort("q")
+	if got := st.OutputBusValue(pq, 0); got != 0b10 {
+		t.Errorf("muxed register q=%02b, want 10", got)
+	}
+	if got := st.BusValue(pq.Nets, 0); got != 0b10 {
+		t.Errorf("BusValue=%02b, want 10", got)
+	}
+	st.SetFF(0, 1)
+	if st.FFWord(0) != 1 {
+		t.Error("SetFF/FFWord roundtrip failed")
+	}
+	st.Eval()
+	if st.Word(n.FFs[0].Q)&1 != 1 {
+		t.Error("Word does not reflect poked FF")
+	}
+}
+
+func TestMuxBusWidthMismatch(t *testing.T) {
+	b := NewBuilder("mm")
+	a := b.InputBus("a", 2)
+	c := b.InputBus("c", 3)
+	sel := b.Input("s")
+	b.MuxBus(sel, a, c)
+	if b.Err() == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestDriveBusMismatch(t *testing.T) {
+	b := NewBuilder("db")
+	w := b.WireBus("w", 2)
+	a := b.Input("a")
+	b.DriveBus(w, []Net{a})
+	if b.Err() == nil {
+		t.Fatal("DriveBus width mismatch accepted")
+	}
+}

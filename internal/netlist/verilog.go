@@ -1,0 +1,152 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as synthesizable structural Verilog: one
+// continuous assignment per gate, one clocked always block per flip-flop
+// (with synchronous reset to the declared init value), and the netlist's
+// ports plus clk/rst. Net names are normalized to safe identifiers; the
+// original names appear as comments where they carry information.
+func (n *Netlist) WriteVerilog(w io.Writer, moduleName string) error {
+	if moduleName == "" {
+		moduleName = sanitizeID(n.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Generated from netlist %q — %s\n", n.Name, n.Stats())
+	fmt.Fprintf(&b, "module %s (\n", sanitizeID(moduleName))
+	b.WriteString("    input  wire clk,\n")
+	b.WriteString("    input  wire rst")
+	for _, p := range n.InputPorts {
+		fmt.Fprintf(&b, ",\n    input  wire %s %s", rangeDecl(p.Width()), sanitizeID(p.Name))
+	}
+	for _, p := range n.OutputPorts {
+		fmt.Fprintf(&b, ",\n    output wire %s %s", rangeDecl(p.Width()), sanitizeID(p.Name))
+	}
+	b.WriteString("\n);\n\n")
+
+	// Internal wires and registers.
+	fmt.Fprintf(&b, "    wire [%d:0] n; // net bundle\n", n.numNets-1)
+	for i, ff := range n.FFs {
+		fmt.Fprintf(&b, "    reg ff_%d; // %s\n", i, ff.Name)
+	}
+	b.WriteString("\n")
+
+	// Input port bits onto the net bundle.
+	for _, p := range n.InputPorts {
+		for i, net := range p.Nets {
+			fmt.Fprintf(&b, "    assign n[%d] = %s%s;\n", net, sanitizeID(p.Name), bitSel(p.Width(), i))
+		}
+	}
+	// Flip-flop Q nets.
+	for i, ff := range n.FFs {
+		fmt.Fprintf(&b, "    assign n[%d] = ff_%d;\n", ff.Q, i)
+	}
+	b.WriteString("\n")
+
+	// Gates in topological order.
+	for _, gi := range n.TopoOrder() {
+		g := &n.Gates[gi]
+		fmt.Fprintf(&b, "    assign n[%d] = %s;\n", g.Out, gateExpr(g))
+	}
+	b.WriteString("\n")
+
+	// Flip-flops.
+	for i, ff := range n.FFs {
+		initVal := "1'b0"
+		if ff.Init {
+			initVal = "1'b1"
+		}
+		fmt.Fprintf(&b, "    always @(posedge clk) begin\n")
+		fmt.Fprintf(&b, "        if (rst) ff_%d <= %s;\n", i, initVal)
+		fmt.Fprintf(&b, "        else     ff_%d <= n[%d];\n", i, ff.D)
+		fmt.Fprintf(&b, "    end\n")
+	}
+	b.WriteString("\n")
+
+	// Output ports.
+	for _, p := range n.OutputPorts {
+		for i, net := range p.Nets {
+			fmt.Fprintf(&b, "    assign %s%s = n[%d];\n", sanitizeID(p.Name), bitSel(p.Width(), i), net)
+		}
+	}
+	b.WriteString("endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func rangeDecl(width int) string {
+	if width == 1 {
+		return "      "
+	}
+	return fmt.Sprintf("[%d:0]", width-1)
+}
+
+func bitSel(width, i int) string {
+	if width == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d]", i)
+}
+
+// sanitizeID turns an arbitrary name into a legal Verilog identifier.
+func sanitizeID(s string) string {
+	if s == "" {
+		return "m"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "m" + out
+	}
+	return out
+}
+
+// gateExpr renders one gate as a Verilog expression over the net bundle.
+func gateExpr(g *Gate) string {
+	ref := func(x Net) string { return fmt.Sprintf("n[%d]", x) }
+	join := func(op string) string {
+		parts := make([]string, len(g.In))
+		for i, in := range g.In {
+			parts[i] = ref(in)
+		}
+		return strings.Join(parts, " "+op+" ")
+	}
+	switch g.Type {
+	case Const0:
+		return "1'b0"
+	case Const1:
+		return "1'b1"
+	case Buf:
+		return ref(g.In[0])
+	case Not:
+		return "~" + ref(g.In[0])
+	case And:
+		return join("&")
+	case Or:
+		return join("|")
+	case Nand:
+		return "~(" + join("&") + ")"
+	case Nor:
+		return "~(" + join("|") + ")"
+	case Xor:
+		return join("^")
+	case Xnor:
+		return "~(" + join("^") + ")"
+	case Mux2:
+		return fmt.Sprintf("%s ? %s : %s", ref(g.In[0]), ref(g.In[2]), ref(g.In[1]))
+	default:
+		return "1'bx"
+	}
+}

@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerilogExportStructure(t *testing.T) {
+	b := NewBuilder("demo.unit")
+	a := b.InputBus("a", 4)
+	x := b.Input("x")
+	sum := make([]Net, 4)
+	for i := range sum {
+		sum[i] = b.Xor(a[i], x)
+	}
+	q := b.DFFBus("r", sum, false)
+	b.OutputBus("q", q)
+	b.Output("p", b.And(q[0], q[1]))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+
+	for _, want := range []string{
+		"module demo_unit",
+		"endmodule",
+		"input  wire clk",
+		"input  wire rst",
+		"input  wire [3:0] a",
+		"output wire [3:0] q",
+		"always @(posedge clk)",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog lacks %q", want)
+		}
+	}
+	if got := strings.Count(v, "always @(posedge clk)"); got != len(n.FFs) {
+		t.Errorf("%d always blocks for %d flip-flops", got, len(n.FFs))
+	}
+	// One assign per gate plus port/FF plumbing.
+	if got := strings.Count(v, "assign "); got < len(n.Gates)+len(n.FFs) {
+		t.Errorf("only %d assigns for %d gates + %d FFs", got, len(n.Gates), len(n.FFs))
+	}
+	// Reset values follow FF init.
+	if !strings.Contains(v, "<= 1'b0;") {
+		t.Error("missing reset assignment")
+	}
+}
+
+func TestVerilogAllGateForms(t *testing.T) {
+	b := NewBuilder("gates")
+	a := b.Input("a")
+	x := b.Input("b")
+	b.Output("o0", b.And(a, x))
+	b.Output("o1", b.Or(a, x))
+	b.Output("o2", b.Nand(a, x))
+	b.Output("o3", b.Nor(a, x))
+	b.Output("o4", b.Xor(a, x))
+	b.Output("o5", b.Xnor(a, x))
+	b.Output("o6", b.Not(a))
+	b.Output("o7", b.Buf(a))
+	b.Output("o8", b.Mux(a, x, b.Const(true)))
+	b.Output("o9", b.Const(false))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb, "g"); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{" & ", " | ", "~(", " ^ ", " ? ", "1'b0", "1'b1"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog lacks operator %q", want)
+		}
+	}
+	if strings.Contains(v, "1'bx") {
+		t.Error("unknown gate leaked into the export")
+	}
+}
+
+func TestVerilogDeterministic(t *testing.T) {
+	b1 := NewBuilder("d")
+	a := b1.Input("a")
+	b1.Output("y", b1.Not(a))
+	n, err := b1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1, s2 strings.Builder
+	if err := n.WriteVerilog(&s1, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteVerilog(&s2, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatal("nondeterministic export")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"demo.unit":  "demo_unit",
+		"9lives":     "m9lives",
+		"":           "m",
+		"ok_name_42": "ok_name_42",
+		"a/b[3]":     "a_b_3_",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

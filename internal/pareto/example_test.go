@@ -1,0 +1,38 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+)
+
+// ExampleFront extracts the non-dominated set of a small design space.
+func ExampleFront() {
+	points := []pareto.Point{
+		{ID: 0, Coords: []float64{1, 9}}, // cheap but slow
+		{ID: 1, Coords: []float64{5, 5}}, // balanced
+		{ID: 2, Coords: []float64{9, 1}}, // fast but big
+		{ID: 3, Coords: []float64{6, 6}}, // dominated by 1
+	}
+	for _, i := range pareto.Front(points) {
+		fmt.Println(points[i].ID)
+	}
+	// Output:
+	// 0
+	// 1
+	// 2
+}
+
+// ExampleSelect picks the balanced compromise with the paper's
+// equal-weight Euclidean norm.
+func ExampleSelect() {
+	points := []pareto.Point{
+		{ID: 0, Coords: []float64{1, 9}},
+		{ID: 1, Coords: []float64{5, 5}},
+		{ID: 2, Coords: []float64{9, 1}},
+	}
+	best, _ := pareto.Select(points, nil, pareto.Euclid)
+	fmt.Println(points[best].ID)
+	// Output:
+	// 1
+}

@@ -1,0 +1,208 @@
+// Package pareto provides k-dimensional Pareto-front extraction and the
+// weighted-norm selection used to pick the final architecture from the
+// area / execution-time / test-cost space (the paper's section 4: "any of
+// the standard weighted norm techniques within the vector space R^3").
+// All objectives are minimized.
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one candidate in objective space.
+type Point struct {
+	ID     int
+	Coords []float64
+}
+
+// Dominates reports whether a dominates b: a is no worse in every
+// dimension and strictly better in at least one.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Front returns the indices (into points) of the non-dominated set, in
+// input order. Duplicate coordinate vectors are all kept.
+func Front(points []Point) []int {
+	var out []int
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i != j && Dominates(points[j].Coords, points[i].Coords) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Project drops all but the listed dimensions from each point.
+func Project(points []Point, dims ...int) []Point {
+	out := make([]Point, len(points))
+	for i, p := range points {
+		c := make([]float64, len(dims))
+		for k, d := range dims {
+			c[k] = p.Coords[d]
+		}
+		out[i] = Point{ID: p.ID, Coords: c}
+	}
+	return out
+}
+
+// Norm selects the scalarization used for selection.
+type Norm uint8
+
+// Selection norms.
+const (
+	// Euclid is the L2 norm over normalized coordinates (the paper's
+	// choice, with equal weights).
+	Euclid Norm = iota
+	// Manhattan is the L1 norm.
+	Manhattan
+	// Chebyshev is the L∞ norm.
+	Chebyshev
+)
+
+func (n Norm) String() string {
+	switch n {
+	case Euclid:
+		return "euclid"
+	case Manhattan:
+		return "manhattan"
+	case Chebyshev:
+		return "chebyshev"
+	default:
+		return fmt.Sprintf("Norm(%d)", uint8(n))
+	}
+}
+
+// Select returns the index of the point minimizing the weighted norm over
+// min-max normalized coordinates. Weights express "the significance of a
+// constraint over other constraints"; equal weights reproduce the paper's
+// selection. Ties break toward the lower index (deterministic).
+func Select(points []Point, weights []float64, norm Norm) (int, error) {
+	if len(points) == 0 {
+		return -1, fmt.Errorf("pareto: no points to select from")
+	}
+	dims := len(points[0].Coords)
+	if weights == nil {
+		weights = make([]float64, dims)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != dims {
+		return -1, fmt.Errorf("pareto: %d weights for %d dimensions", len(weights), dims)
+	}
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	copy(lo, points[0].Coords)
+	copy(hi, points[0].Coords)
+	for _, p := range points {
+		if len(p.Coords) != dims {
+			return -1, fmt.Errorf("pareto: inconsistent dimensionality")
+		}
+		for d, v := range p.Coords {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	best := -1
+	bestVal := math.Inf(1)
+	for i, p := range points {
+		acc := 0.0
+		worst := 0.0
+		for d, v := range p.Coords {
+			nv := 0.0
+			if hi[d] > lo[d] {
+				nv = (v - lo[d]) / (hi[d] - lo[d])
+			}
+			w := weights[d] * nv
+			switch norm {
+			case Manhattan:
+				acc += math.Abs(w)
+			case Chebyshev:
+				if math.Abs(w) > worst {
+					worst = math.Abs(w)
+				}
+			default:
+				acc += w * w
+			}
+		}
+		val := acc
+		if norm == Chebyshev {
+			val = worst
+		} else if norm == Euclid {
+			val = math.Sqrt(acc)
+		}
+		if val < bestVal {
+			bestVal = val
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// SortByDim orders points ascending in the given dimension (stable;
+// useful for printing fronts as curves).
+func SortByDim(points []Point, dim int) {
+	sort.SliceStable(points, func(a, b int) bool {
+		return points[a].Coords[dim] < points[b].Coords[dim]
+	})
+}
+
+// SameFront reports whether two fronts (as coordinate sets) are equal up
+// to ordering and eps tolerance — used to check the paper's claim that the
+// 3-D front's area-time projection preserves the 2-D front.
+func SameFront(a, b []Point, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, pa := range a {
+		found := false
+		for j, pb := range b {
+			if used[j] || len(pa.Coords) != len(pb.Coords) {
+				continue
+			}
+			match := true
+			for d := range pa.Coords {
+				if math.Abs(pa.Coords[d]-pb.Coords[d]) > eps {
+					match = false
+					break
+				}
+			}
+			if match {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

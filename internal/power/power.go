@@ -1,0 +1,212 @@
+// Package power adds an energy axis to the exploration: an activity-based
+// model whose per-operation costs are calibrated by counting
+// fanout-weighted signal toggles in the gate-level component netlists
+// (switched capacitance proxy), plus a leakage term proportional to area
+// and runtime. The paper optimizes (area, time, test); energy is the
+// natural fourth axis a modern reproduction should offer, and the
+// calibration reuses the same pre-designed component library.
+package power
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gatelib"
+	"repro/internal/netlist"
+	"repro/internal/sched"
+	"repro/internal/tta"
+)
+
+// Model holds calibrated per-event energies in toggle units (one unit =
+// one fanout-weighted signal transition).
+type Model struct {
+	Width int
+	// PerOp is the average switched capacitance of one triggered
+	// operation per function-unit kind (transport registers included).
+	PerOp map[tta.Kind]float64
+	// RFAccess is the average cost of one register-file read or write.
+	RFAccess float64
+	// BusPerBit is the transport cost of one bus line toggling (applied as
+	// width/2 expected toggles per move).
+	BusPerBit float64
+	// LeakPerAreaCycle models static dissipation per NAND2-equivalent
+	// area unit per clock cycle.
+	LeakPerAreaCycle float64
+}
+
+// toggleCounter accumulates fanout-weighted transitions on a netlist.
+type toggleCounter struct {
+	n      *netlist.Netlist
+	st     *netlist.State
+	weight []float64
+	prev   []uint8
+	total  float64
+	primed bool
+}
+
+func newToggleCounter(n *netlist.Netlist) *toggleCounter {
+	tc := &toggleCounter{
+		n:      n,
+		st:     netlist.NewState(n),
+		weight: make([]float64, n.NumNets()),
+		prev:   make([]uint8, n.NumNets()),
+	}
+	fan := n.FanoutTable()
+	for net := 0; net < n.NumNets(); net++ {
+		tc.weight[net] = 1 + float64(len(fan[net]))
+	}
+	return tc
+}
+
+// cycle clocks the netlist once and accumulates toggles (lane 0).
+func (tc *toggleCounter) cycle() {
+	tc.st.Eval()
+	for net := 0; net < tc.n.NumNets(); net++ {
+		bit := uint8(tc.st.Word(netlist.Net(net)) & 1)
+		if tc.primed && bit != tc.prev[net] {
+			tc.total += tc.weight[net]
+		}
+		tc.prev[net] = bit
+	}
+	tc.primed = true
+	tc.st.Step()
+}
+
+// Calibrate measures the per-event energies on the gate-level library.
+func Calibrate(lib *gatelib.Library, width int, seed int64) (*Model, error) {
+	if lib == nil {
+		lib = gatelib.NewLibrary()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Width:            width,
+		PerOp:            map[tta.Kind]float64{},
+		BusPerBit:        2, // one wire toggle charging the shared bus line
+		LeakPerAreaCycle: 0.01,
+	}
+
+	alu, err := lib.ALU(gatelib.ALUConfig{Width: width, Adder: gatelib.AdderRipple})
+	if err != nil {
+		return nil, err
+	}
+	m.PerOp[tta.ALU], err = measureFU(alu, gatelib.ALUOpBits, rng)
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := lib.CMP(width)
+	if err != nil {
+		return nil, err
+	}
+	m.PerOp[tta.CMP], err = measureFU(cmp, gatelib.CMPOpBits, rng)
+	if err != nil {
+		return nil, err
+	}
+	// LD/ST: approximate with the ALU transport registers (its core is
+	// thin; the memory array is outside the datapath).
+	m.PerOp[tta.LDST] = m.PerOp[tta.ALU] * 0.6
+
+	rf, err := lib.RF(gatelib.RFConfig{Width: width, NumRegs: 8, NumIn: 1, NumOut: 1})
+	if err != nil {
+		return nil, err
+	}
+	m.RFAccess, err = measureRF(rf, rng)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// measureFU drives random back-to-back operations through the pipelined
+// wrapper and returns average toggles per operation.
+func measureFU(comp *gatelib.Component, opBits int, rng *rand.Rand) (float64, error) {
+	n := comp.Seq
+	tc := newToggleCounter(n)
+	pBusO, ok1 := n.InputPort("bus_o")
+	pBusT, ok2 := n.InputPort("bus_t")
+	pOp, ok3 := n.InputPort("op_in")
+	pLdO, ok4 := n.InputPort("load_o")
+	pLdT, ok5 := n.InputPort("load_t")
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return 0, fmt.Errorf("power: %s lacks the pipelined wrapper ports", comp.Name)
+	}
+	const ops = 200
+	mask := uint64(1)<<uint(comp.Width) - 1
+	for i := 0; i < ops; i++ {
+		tc.st.SetInputBus(pBusO, rng.Uint64()&mask)
+		tc.st.SetInputBus(pLdO, 1)
+		tc.st.SetInputBus(pLdT, 0)
+		tc.cycle()
+		tc.st.SetInputBus(pBusT, rng.Uint64()&mask)
+		tc.st.SetInputBus(pOp, uint64(rng.Intn(1<<uint(opBits))))
+		tc.st.SetInputBus(pLdO, 0)
+		tc.st.SetInputBus(pLdT, 1)
+		tc.cycle()
+		tc.st.SetInputBus(pLdT, 0)
+		tc.cycle() // result latches
+	}
+	return tc.total / ops, nil
+}
+
+// measureRF drives random writes and reads and returns average toggles per
+// access.
+func measureRF(comp *gatelib.Component, rng *rand.Rand) (float64, error) {
+	n := comp.Seq
+	tc := newToggleCounter(n)
+	pWA, ok1 := n.InputPort("waddr0")
+	pWD, ok2 := n.InputPort("wdata0")
+	pWE, ok3 := n.InputPort("we0")
+	pRA, ok4 := n.InputPort("raddr0")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return 0, fmt.Errorf("power: %s lacks RF ports", comp.Name)
+	}
+	const accesses = 200
+	mask := uint64(1)<<uint(comp.Width) - 1
+	for i := 0; i < accesses; i++ {
+		tc.st.SetInputBus(pWA, uint64(rng.Intn(comp.NumRegs)))
+		tc.st.SetInputBus(pWD, rng.Uint64()&mask)
+		tc.st.SetInputBus(pWE, 1)
+		tc.st.SetInputBus(pRA, uint64(rng.Intn(comp.NumRegs)))
+		tc.cycle()
+	}
+	return tc.total / accesses, nil
+}
+
+// Estimate is the energy breakdown of one schedule execution.
+type Estimate struct {
+	Transport float64 // bus switching
+	Compute   float64 // triggered operations
+	Storage   float64 // register-file accesses
+	Leakage   float64 // area x cycles
+	Total     float64
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("total %.0f (transport %.0f, compute %.0f, storage %.0f, leakage %.0f)",
+		e.Total, e.Transport, e.Compute, e.Storage, e.Leakage)
+}
+
+// ScheduleEnergy estimates the energy of executing a schedule once on an
+// architecture with total cell area `area`.
+func (m *Model) ScheduleEnergy(res *sched.Result, area float64) Estimate {
+	var e Estimate
+	arch := res.Arch
+	for _, mv := range res.Moves {
+		e.Transport += m.BusPerBit * float64(m.Width) / 2
+		src := &arch.Components[mv.Src.Comp]
+		if src.Kind == tta.RF {
+			e.Storage += m.RFAccess
+		}
+		dst := &arch.Components[mv.Dst.Comp]
+		if dst.Kind == tta.RF {
+			e.Storage += m.RFAccess
+		}
+		if mv.Trigger {
+			if c, ok := m.PerOp[dst.Kind]; ok {
+				e.Compute += c
+			}
+		}
+	}
+	e.Leakage = m.LeakPerAreaCycle * area * float64(res.Cycles)
+	e.Total = e.Transport + e.Compute + e.Storage + e.Leakage
+	return e
+}

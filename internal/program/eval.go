@@ -1,0 +1,121 @@
+package program
+
+import "fmt"
+
+// Memory is the word-addressed data memory a program executes against.
+type Memory map[uint64]uint64
+
+// Evaluate runs the graph with the given input values and memory, returning
+// the output values. It is the golden reference the TTA simulator's results
+// are compared with. All arithmetic wraps at the graph width.
+func Evaluate(g *Graph, inputs []uint64, mem Memory) ([]uint64, error) {
+	if len(inputs) != g.numInputs {
+		return nil, fmt.Errorf("program %q: %d inputs supplied, want %d", g.Name, len(inputs), g.numInputs)
+	}
+	if mem == nil {
+		mem = Memory{}
+	}
+	mask := uint64(1)<<uint(g.Width) - 1
+	vals := make([]uint64, len(g.Ops))
+	for i, op := range g.Ops {
+		var v uint64
+		switch op.Op {
+		case Input:
+			v = inputs[op.Imm] & mask
+		case Const:
+			v = op.Imm & mask
+		case Load:
+			v = mem[vals[op.A]] & mask
+		case Store:
+			mem[vals[op.A]] = vals[op.B] & mask
+		default:
+			bv, err := EvalBinary(op.Op, vals[op.A], vals[op.B], g.Width)
+			if err != nil {
+				return nil, fmt.Errorf("program %q: op %d: %v", g.Name, i, err)
+			}
+			v = bv
+		}
+		vals[i] = v & mask
+	}
+	out := make([]uint64, len(g.Outputs))
+	for i, o := range g.Outputs {
+		out[i] = vals[o]
+	}
+	return out, nil
+}
+
+// EvalBinary computes one two-operand ALU or CMP operation with wrap-around
+// at the given width — the shared golden semantics used by the graph
+// evaluator and the TTA simulator.
+func EvalBinary(op OpCode, a, b uint64, width int) (uint64, error) {
+	mask := uint64(1)<<uint(width) - 1
+	a &= mask
+	b &= mask
+	var v uint64
+	switch op {
+	case Add:
+		v = a + b
+	case Sub:
+		v = a - b
+	case Sll:
+		sh := b & 63
+		if sh >= uint64(width) {
+			v = 0
+		} else {
+			v = a << sh
+		}
+	case Srl:
+		sh := b & 63
+		if sh >= uint64(width) {
+			v = 0
+		} else {
+			v = a >> sh
+		}
+	case And:
+		v = a & b
+	case Or:
+		v = a | b
+	case Xor:
+		v = a ^ b
+	case Eq, Ne, Ltu, Lts, Geu, Ges, Gtu, Gts:
+		v = evalCmp(op, a, b, width)
+	default:
+		return 0, fmt.Errorf("EvalBinary: opcode %s is not a binary operation", op)
+	}
+	return v & mask, nil
+}
+
+func evalCmp(op OpCode, a, b uint64, width int) uint64 {
+	sign := uint64(1) << uint(width-1)
+	sa := int64(a)
+	sb := int64(b)
+	if a&sign != 0 {
+		sa = int64(a) - int64(1)<<uint(width)
+	}
+	if b&sign != 0 {
+		sb = int64(b) - int64(1)<<uint(width)
+	}
+	var p bool
+	switch op {
+	case Eq:
+		p = a == b
+	case Ne:
+		p = a != b
+	case Ltu:
+		p = a < b
+	case Lts:
+		p = sa < sb
+	case Geu:
+		p = a >= b
+	case Ges:
+		p = sa >= sb
+	case Gtu:
+		p = a > b
+	case Gts:
+		p = sa > sb
+	}
+	if p {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,297 @@
+// Package program provides the operation dataflow IR that applications are
+// lowered to before move scheduling: a straight-line SSA-style graph of
+// 16-bit (configurable width) operations with explicit inputs, constants,
+// memory accesses and outputs. The MOVE framework's role of turning C/C++
+// into TTA-schedulable operations is played by builders in this package and
+// by the crypt kernel generator in internal/crypt.
+package program
+
+import (
+	"fmt"
+)
+
+// OpCode enumerates the IR operations.
+type OpCode uint8
+
+// IR operations. The arithmetic/logic group maps onto the ALU, the
+// comparison group onto the CMP unit, Load/Store onto the LD/ST unit and
+// Const onto the immediate unit.
+const (
+	Input OpCode = iota // function argument (Imm holds the argument index)
+	Const               // literal (Imm holds the value)
+
+	Add
+	Sub
+	Sll
+	Srl
+	And
+	Or
+	Xor
+
+	Eq
+	Ne
+	Ltu
+	Lts
+	Geu
+	Ges
+	Gtu
+	Gts
+
+	Load  // A = address
+	Store // A = address, B = value; defines no value
+
+	numOpCodes
+)
+
+var opNames = [numOpCodes]string{
+	Input: "input", Const: "const",
+	Add: "add", Sub: "sub", Sll: "sll", Srl: "srl",
+	And: "and", Or: "or", Xor: "xor",
+	Eq: "eq", Ne: "ne", Ltu: "ltu", Lts: "lts",
+	Geu: "geu", Ges: "ges", Gtu: "gtu", Gts: "gts",
+	Load: "load", Store: "store",
+}
+
+func (o OpCode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by the component kind that executes them.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassInput Class = iota
+	ClassConst
+	ClassALU
+	ClassCMP
+	ClassMem
+)
+
+// Class returns the execution class of the opcode.
+func (o OpCode) Class() Class {
+	switch {
+	case o == Input:
+		return ClassInput
+	case o == Const:
+		return ClassConst
+	case o >= Add && o <= Xor:
+		return ClassALU
+	case o >= Eq && o <= Gts:
+		return ClassCMP
+	default:
+		return ClassMem
+	}
+}
+
+// NoValue marks an absent operand.
+const NoValue ValueID = -1
+
+// ValueID identifies the value defined by an operation (equal to the
+// operation's index in the graph).
+type ValueID int32
+
+// Operation is one node of the dataflow graph.
+type Operation struct {
+	Op   OpCode
+	A, B ValueID // operands; NoValue when unused
+	Imm  uint64  // Const value or Input index
+	// MemPred is the previous memory operation (NoValue if none); it
+	// serializes loads and stores so the scheduler preserves memory order.
+	MemPred ValueID
+}
+
+// Defines reports whether the operation produces a value.
+func (op Operation) Defines() bool { return op.Op != Store }
+
+// Graph is a straight-line dataflow program.
+type Graph struct {
+	Name    string
+	Width   int
+	Ops     []Operation
+	Outputs []ValueID
+
+	numInputs int
+	lastMem   ValueID
+}
+
+// NewGraph returns an empty graph for a datapath of the given bit width.
+func NewGraph(name string, width int) *Graph {
+	return &Graph{Name: name, Width: width, lastMem: NoValue}
+}
+
+// NumInputs returns the number of declared inputs.
+func (g *Graph) NumInputs() int { return g.numInputs }
+
+// NumOps returns the operation count.
+func (g *Graph) NumOps() int { return len(g.Ops) }
+
+func (g *Graph) add(op Operation) ValueID {
+	id := ValueID(len(g.Ops))
+	g.Ops = append(g.Ops, op)
+	return id
+}
+
+// In declares the next function input.
+func (g *Graph) In() ValueID {
+	id := g.add(Operation{Op: Input, A: NoValue, B: NoValue, Imm: uint64(g.numInputs), MemPred: NoValue})
+	g.numInputs++
+	return id
+}
+
+// ConstV adds a literal value.
+func (g *Graph) ConstV(v uint64) ValueID {
+	return g.add(Operation{Op: Const, A: NoValue, B: NoValue, Imm: v, MemPred: NoValue})
+}
+
+// Bin adds a two-operand ALU or CMP operation.
+func (g *Graph) Bin(op OpCode, a, b ValueID) ValueID {
+	return g.add(Operation{Op: op, A: a, B: b, MemPred: NoValue})
+}
+
+// Add returns a+b.
+func (g *Graph) Add(a, b ValueID) ValueID { return g.Bin(Add, a, b) }
+
+// Sub returns a-b.
+func (g *Graph) Sub(a, b ValueID) ValueID { return g.Bin(Sub, a, b) }
+
+// Sll returns a<<b.
+func (g *Graph) Sll(a, b ValueID) ValueID { return g.Bin(Sll, a, b) }
+
+// Srl returns a>>b.
+func (g *Graph) Srl(a, b ValueID) ValueID { return g.Bin(Srl, a, b) }
+
+// And returns a&b.
+func (g *Graph) And(a, b ValueID) ValueID { return g.Bin(And, a, b) }
+
+// Or returns a|b.
+func (g *Graph) Or(a, b ValueID) ValueID { return g.Bin(Or, a, b) }
+
+// Xor returns a^b.
+func (g *Graph) Xor(a, b ValueID) ValueID { return g.Bin(Xor, a, b) }
+
+// Eq returns a==b (0 or 1).
+func (g *Graph) Eq(a, b ValueID) ValueID { return g.Bin(Eq, a, b) }
+
+// Ne returns a!=b (0 or 1).
+func (g *Graph) Ne(a, b ValueID) ValueID { return g.Bin(Ne, a, b) }
+
+// Ltu returns a<b unsigned (0 or 1).
+func (g *Graph) Ltu(a, b ValueID) ValueID { return g.Bin(Ltu, a, b) }
+
+// Lts returns a<b signed (0 or 1).
+func (g *Graph) Lts(a, b ValueID) ValueID { return g.Bin(Lts, a, b) }
+
+// Load reads memory at the address value.
+func (g *Graph) Load(addr ValueID) ValueID {
+	id := g.add(Operation{Op: Load, A: addr, B: NoValue, MemPred: g.lastMem})
+	g.lastMem = id
+	return id
+}
+
+// Store writes value v to memory at the address value. It defines no
+// result.
+func (g *Graph) Store(addr, v ValueID) ValueID {
+	id := g.add(Operation{Op: Store, A: addr, B: v, MemPred: g.lastMem})
+	g.lastMem = id
+	return id
+}
+
+// Output marks a value as a program result.
+func (g *Graph) Output(v ValueID) {
+	g.Outputs = append(g.Outputs, v)
+}
+
+// Validate checks SSA discipline: operands defined before use, opcode
+// ranges, and output references.
+func (g *Graph) Validate() error {
+	if g.Width < 2 || g.Width > 64 {
+		return fmt.Errorf("program %q: width %d out of range", g.Name, g.Width)
+	}
+	for i, op := range g.Ops {
+		if op.Op >= numOpCodes {
+			return fmt.Errorf("program %q: op %d has invalid opcode %d", g.Name, i, op.Op)
+		}
+		for _, ref := range []ValueID{op.A, op.B, op.MemPred} {
+			if ref != NoValue && (ref < 0 || int(ref) >= i) {
+				return fmt.Errorf("program %q: op %d uses undefined value %d", g.Name, i, ref)
+			}
+		}
+		if op.A != NoValue && !g.Ops[op.A].Defines() {
+			return fmt.Errorf("program %q: op %d reads store %d", g.Name, i, op.A)
+		}
+		if op.B != NoValue && !g.Ops[op.B].Defines() {
+			return fmt.Errorf("program %q: op %d reads store %d", g.Name, i, op.B)
+		}
+		needsA := op.Op.Class() == ClassALU || op.Op.Class() == ClassCMP || op.Op == Load || op.Op == Store
+		if needsA && op.A == NoValue {
+			return fmt.Errorf("program %q: op %d (%s) lacks operand A", g.Name, i, op.Op)
+		}
+		needsB := op.Op.Class() == ClassALU || op.Op.Class() == ClassCMP || op.Op == Store
+		if needsB && op.B == NoValue {
+			return fmt.Errorf("program %q: op %d (%s) lacks operand B", g.Name, i, op.Op)
+		}
+	}
+	for _, o := range g.Outputs {
+		if o < 0 || int(o) >= len(g.Ops) || !g.Ops[o].Defines() {
+			return fmt.Errorf("program %q: invalid output %d", g.Name, o)
+		}
+	}
+	return nil
+}
+
+// Stats summarises the operation mix.
+type Stats struct {
+	Ops     int
+	ALU     int
+	CMP     int
+	Loads   int
+	Stores  int
+	Consts  int
+	Inputs  int
+	Depth   int // critical path in operations
+	Outputs int
+}
+
+// Stats computes the operation mix and dataflow depth.
+func (g *Graph) Stats() Stats {
+	s := Stats{Ops: len(g.Ops), Outputs: len(g.Outputs)}
+	depth := make([]int, len(g.Ops))
+	for i, op := range g.Ops {
+		switch op.Op.Class() {
+		case ClassALU:
+			s.ALU++
+		case ClassCMP:
+			s.CMP++
+		case ClassMem:
+			if op.Op == Load {
+				s.Loads++
+			} else {
+				s.Stores++
+			}
+		case ClassConst:
+			s.Consts++
+		case ClassInput:
+			s.Inputs++
+		}
+		d := 0
+		for _, ref := range []ValueID{op.A, op.B, op.MemPred} {
+			if ref != NoValue && depth[ref]+1 > d {
+				d = depth[ref] + 1
+			}
+		}
+		depth[i] = d
+		if d > s.Depth {
+			s.Depth = d
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("ops=%d (alu=%d cmp=%d ld=%d st=%d const=%d in=%d out=%d) depth=%d",
+		s.Ops, s.ALU, s.CMP, s.Loads, s.Stores, s.Consts, s.Inputs, s.Outputs, s.Depth)
+}

@@ -1,0 +1,215 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndEvaluateArith(t *testing.T) {
+	g := NewGraph("arith", 16)
+	a := g.In()
+	b := g.In()
+	sum := g.Add(a, b)
+	diff := g.Sub(a, b)
+	g.Output(sum)
+	g.Output(diff)
+	g.Output(g.Xor(sum, diff))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(g, []uint64{0x1234, 0x0FF0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := uint64(0x1234+0x0FF0) & 0xFFFF
+	wantDiff := uint64(0x1234-0x0FF0) & 0xFFFF
+	if out[0] != wantSum || out[1] != wantDiff || out[2] != wantSum^wantDiff {
+		t.Fatalf("got %#x, want [%#x %#x %#x]", out, wantSum, wantDiff, wantSum^wantDiff)
+	}
+}
+
+func TestEvaluateWrapsAtWidth(t *testing.T) {
+	g := NewGraph("wrap", 8)
+	a := g.In()
+	one := g.ConstV(1)
+	g.Output(g.Add(a, one))
+	out, err := Evaluate(g, []uint64{0xFF}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Fatalf("0xFF+1 at width 8 = %#x, want 0", out[0])
+	}
+}
+
+func TestMemoryOrderingStoreLoad(t *testing.T) {
+	g := NewGraph("mem", 16)
+	addr := g.ConstV(0x40)
+	val := g.ConstV(0xABCD)
+	g.Store(addr, val)
+	ld := g.Load(addr)
+	g.Output(ld)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The load's MemPred must be the store.
+	if g.Ops[ld].MemPred == NoValue {
+		t.Fatal("load not ordered after store")
+	}
+	out, err := Evaluate(g, nil, Memory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0xABCD {
+		t.Fatalf("load after store = %#x, want 0xABCD", out[0])
+	}
+}
+
+func TestLoadFromInitializedMemory(t *testing.T) {
+	g := NewGraph("rom", 16)
+	g.Output(g.Load(g.ConstV(7)))
+	mem := Memory{7: 0x55AA}
+	out, err := Evaluate(g, nil, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0x55AA {
+		t.Fatalf("rom load = %#x, want 0x55AA", out[0])
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	g := NewGraph("bad", 16)
+	a := g.In()
+	g.Ops = append(g.Ops, Operation{Op: Add, A: 5, B: a, MemPred: NoValue})
+	if err := g.Validate(); err == nil {
+		t.Error("forward reference accepted")
+	}
+
+	g2 := NewGraph("bad2", 16)
+	x := g2.In()
+	g2.Output(x)
+	g2.Outputs = append(g2.Outputs, 99)
+	if err := g2.Validate(); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+
+	g3 := NewGraph("bad3", 1)
+	if err := g3.Validate(); err == nil {
+		t.Error("width 1 accepted")
+	}
+
+	g4 := NewGraph("bad4", 16)
+	a4 := g4.ConstV(1)
+	st := g4.Store(a4, a4)
+	g4.Ops = append(g4.Ops, Operation{Op: Add, A: st, B: a4, MemPred: NoValue})
+	if err := g4.Validate(); err == nil {
+		t.Error("reading a store result accepted")
+	}
+}
+
+func TestEvalBinaryMatchesGo(t *testing.T) {
+	f := func(a, b uint16) bool {
+		checks := []struct {
+			op   OpCode
+			want uint64
+		}{
+			{Add, uint64(a + b)},
+			{Sub, uint64(a - b)},
+			{And, uint64(a & b)},
+			{Or, uint64(a | b)},
+			{Xor, uint64(a ^ b)},
+			{Eq, b2u(a == b)},
+			{Ne, b2u(a != b)},
+			{Ltu, b2u(a < b)},
+			{Lts, b2u(int16(a) < int16(b))},
+			{Geu, b2u(a >= b)},
+			{Ges, b2u(int16(a) >= int16(b))},
+			{Gtu, b2u(a > b)},
+			{Gts, b2u(int16(a) > int16(b))},
+		}
+		for _, c := range checks {
+			got, err := EvalBinary(c.op, uint64(a), uint64(b), 16)
+			if err != nil || got != c.want&0xFFFF {
+				return false
+			}
+		}
+		// Shifts against Go semantics with the IR's over-shift-to-zero rule.
+		sh := uint64(b) & 63
+		wantSll := uint64(0)
+		wantSrl := uint64(0)
+		if sh < 16 {
+			wantSll = uint64(a<<sh) & 0xFFFF
+			wantSrl = uint64(a >> sh)
+		}
+		gotSll, _ := EvalBinary(Sll, uint64(a), uint64(b), 16)
+		gotSrl, _ := EvalBinary(Srl, uint64(a), uint64(b), 16)
+		return gotSll == wantSll && gotSrl == wantSrl
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestEvalBinaryRejectsNonBinary(t *testing.T) {
+	if _, err := EvalBinary(Load, 1, 2, 16); err == nil {
+		t.Error("EvalBinary accepted Load")
+	}
+	if _, err := EvalBinary(Const, 1, 2, 16); err == nil {
+		t.Error("EvalBinary accepted Const")
+	}
+}
+
+func TestStatsAndDepth(t *testing.T) {
+	g := NewGraph("stats", 16)
+	a := g.In()
+	b := g.In()
+	c1 := g.ConstV(3)
+	s := g.Add(a, b)     // depth 1
+	p := g.And(s, c1)    // depth 2
+	q := g.Ltu(p, a)     // depth 3
+	g.Store(c1, q)       // depth 4
+	g.Output(g.Load(c1)) // depth 5
+	st := g.Stats()
+	if st.ALU != 2 || st.CMP != 1 || st.Loads != 1 || st.Stores != 1 || st.Inputs != 2 || st.Consts != 1 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if st.Depth != 5 {
+		t.Fatalf("depth %d, want 5", st.Depth)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestEvaluateInputCountMismatch(t *testing.T) {
+	g := NewGraph("in", 16)
+	g.Output(g.In())
+	if _, err := Evaluate(g, nil, nil); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if _, err := Evaluate(g, []uint64{1, 2}, nil); err == nil {
+		t.Error("extra inputs accepted")
+	}
+}
+
+func TestOpCodeStringsAndClasses(t *testing.T) {
+	for op := Input; op < numOpCodes; op++ {
+		if op.String() == "" {
+			t.Fatalf("empty name for opcode %d", op)
+		}
+	}
+	if Add.Class() != ClassALU || Gts.Class() != ClassCMP || Load.Class() != ClassMem ||
+		Const.Class() != ClassConst || Input.Class() != ClassInput {
+		t.Fatal("opcode class mapping broken")
+	}
+}

@@ -1,0 +1,229 @@
+// Package report renders the exploration results as aligned ASCII tables,
+// CSV series and text scatter plots — the output format of the cmd tools
+// and the benchmark harness that regenerates the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Write(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (quoting cells containing separators).
+func (t *Table) WriteCSV(w io.Writer) error {
+	emit := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := emit(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter renders a 2-D point cloud as a text plot. Marks associates a
+// rune with each point; 0 uses '*'.
+type Scatter struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	W, H       int
+	xs, ys     []float64
+	marks      []rune
+	hasSpecial bool
+}
+
+// NewScatter creates a plot grid of the given size (columns x rows).
+func NewScatter(title, xlabel, ylabel string, w, h int) *Scatter {
+	if w < 10 {
+		w = 10
+	}
+	if h < 5 {
+		h = 5
+	}
+	return &Scatter{Title: title, XLabel: xlabel, YLabel: ylabel, W: w, H: h}
+}
+
+// Add places a point; mark 0 renders as '*'.
+func (s *Scatter) Add(x, y float64, mark rune) {
+	if mark == 0 {
+		mark = '*'
+	} else {
+		s.hasSpecial = true
+	}
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+	s.marks = append(s.marks, mark)
+}
+
+// String renders the plot.
+func (s *Scatter) String() string {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	if len(s.xs) == 0 {
+		b.WriteString("(no points)\n")
+		return b.String()
+	}
+	xmin, xmax := minMax(s.xs)
+	ymin, ymax := minMax(s.ys)
+	grid := make([][]rune, s.H)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", s.W))
+	}
+	for i := range s.xs {
+		c := scale(s.xs[i], xmin, xmax, s.W-1)
+		r := s.H - 1 - scale(s.ys[i], ymin, ymax, s.H-1)
+		// Priority per cell: special marks > '*' > '.' > empty.
+		if markPriority(s.marks[i]) >= markPriority(grid[r][c]) {
+			grid[r][c] = s.marks[i]
+		}
+	}
+	fmt.Fprintf(&b, "%s (vertical: %.3g .. %.3g)\n", s.YLabel, ymin, ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "| %s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+-%s\n", strings.Repeat("-", s.W))
+	fmt.Fprintf(&b, "  %s (horizontal: %.3g .. %.3g)\n", s.XLabel, xmin, xmax)
+	return b.String()
+}
+
+func markPriority(m rune) int {
+	switch m {
+	case ' ':
+		return 0
+	case '.':
+		return 1
+	case '*':
+		return 2
+	default:
+		return 3
+	}
+}
+
+func minMax(v []float64) (float64, float64) {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func scale(v, lo, hi float64, steps int) int {
+	if hi <= lo {
+		return 0
+	}
+	i := int(math.Round((v - lo) / (hi - lo) * float64(steps)))
+	if i < 0 {
+		i = 0
+	}
+	if i > steps {
+		i = steps
+	}
+	return i
+}

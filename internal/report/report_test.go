@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 123456)
+	out := tb.String()
+	if !strings.Contains(out, "title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5 (title, header, sep, 2 rows)", len(lines))
+	}
+	// Columns align: the 'value' column starts at the same offset on all
+	// data lines.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("no value header")
+	}
+	if lines[3][idx] == ' ' && lines[4][idx] == ' ' {
+		t.Error("value column empty at the header offset on all rows")
+	}
+}
+
+func TestTableFloatsTrimmed(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "\n3 ") && !strings.Contains(out, "\n3\n") {
+		t.Errorf("integral float not trimmed: %q", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("fractional float lost precision: %q", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", "plain")
+	tb.AddRow(`has"quote`, 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("missing header: %q", out)
+	}
+}
+
+func TestScatterRendersPoints(t *testing.T) {
+	sc := NewScatter("pareto", "area", "time", 40, 10)
+	sc.Add(1, 10, 0)
+	sc.Add(5, 5, 0)
+	sc.Add(10, 1, 'S')
+	out := sc.String()
+	if strings.Count(out, "*") != 2 {
+		t.Errorf("expected 2 star points, got %d in:\n%s", strings.Count(out, "*"), out)
+	}
+	if !strings.Contains(out, "S") {
+		t.Errorf("special mark lost:\n%s", out)
+	}
+	if !strings.Contains(out, "area") || !strings.Contains(out, "time") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestScatterExtremesAtCorners(t *testing.T) {
+	sc := NewScatter("", "x", "y", 30, 8)
+	sc.Add(0, 0, 'L')   // bottom-left
+	sc.Add(10, 10, 'H') // top-right
+	out := sc.String()
+	lines := strings.Split(out, "\n")
+	// First plot row (top) must contain H at the right edge; last plot row
+	// contains L at the left edge.
+	var plot []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") {
+			plot = append(plot, l)
+		}
+	}
+	if len(plot) != 8 {
+		t.Fatalf("%d plot rows, want 8", len(plot))
+	}
+	if !strings.Contains(plot[0], "H") {
+		t.Errorf("high point not on the top row: %q", plot[0])
+	}
+	if !strings.Contains(plot[len(plot)-1], "L") {
+		t.Errorf("low point not on the bottom row: %q", plot[len(plot)-1])
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	sc := NewScatter("e", "x", "y", 20, 6)
+	if !strings.Contains(sc.String(), "no points") {
+		t.Error("empty scatter did not say so")
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	sc := NewScatter("", "x", "y", 20, 6)
+	sc.Add(5, 5, 0)
+	sc.Add(5, 5, 0)
+	out := sc.String() // must not panic or divide by zero
+	if !strings.Contains(out, "*") {
+		t.Error("coincident points lost")
+	}
+}

@@ -1,0 +1,101 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/tta"
+)
+
+// RunProgram executes an *encoded* instruction stream on the gate-level
+// datapath: each raw word is decoded back into move slots (exactly what
+// the distributed socket decode of a real TTA does) and applied as the
+// cycle's control signals. Combined with internal/isa this closes the
+// loop — binaries in, register-file results out.
+//
+// Register seeding and output extraction still come from the schedule's
+// allocation maps (inputLoc/regAlloc), which a real toolchain would emit
+// as the program's calling convention.
+func (m *Machine) RunProgram(p *isa.Program, inputLoc map[int]sched.RegLoc, inputs []uint64,
+	outputLoc []sched.RegLoc, mem map[uint64]uint64) ([]uint64, error) {
+	if p.Format.Arch != m.Arch {
+		return nil, fmt.Errorf("rtl: program encoded for a different architecture instance")
+	}
+	m.Reset()
+	for k, v := range mem {
+		m.Mem[k] = v
+	}
+	for i := 0; i < len(inputs); i++ {
+		loc, ok := inputLoc[i]
+		if !ok {
+			return nil, fmt.Errorf("rtl: no seed location for input %d", i)
+		}
+		if err := m.PokeRegister(loc.RF, loc.Reg, inputs[i]); err != nil {
+			return nil, err
+		}
+	}
+	for wi, word := range p.Words {
+		ins, err := p.Format.Decode(word, wi)
+		if err != nil {
+			return nil, err
+		}
+		var ctls []ctl
+		for _, s := range ins.Slots {
+			if !s.Valid {
+				continue
+			}
+			c := ctl{
+				src:    portKey{s.Src.Comp, s.Src.Port},
+				dst:    portKey{s.Dst.Comp, s.Dst.Port},
+				srcReg: s.SrcReg,
+				dstReg: s.DstReg,
+				imm:    ins.Imm,
+			}
+			if m.Arch.Components[s.Dst.Comp].Ports[s.Dst.Port].Role == tta.Trigger {
+				c.trigger = true
+				c.op = s.Op & 7
+				c.isStore = s.Op&8 != 0 && s.Op&1 == 1
+			}
+			ctls = append(ctls, c)
+		}
+		if err := m.step(ctls); err != nil {
+			return nil, fmt.Errorf("rtl: instruction %d: %w", wi, err)
+		}
+	}
+	// Drain the pipeline: the final register write lands one cycle after
+	// the last instruction's transports.
+	for i := 0; i < 2; i++ {
+		if err := m.step(nil); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]uint64, len(outputLoc))
+	for i, loc := range outputLoc {
+		v, err := m.PeekRegister(loc.RF, loc.Reg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SeedsOf extracts the calling-convention maps RunProgram needs from a
+// schedule.
+func SeedsOf(res *sched.Result) (map[int]sched.RegLoc, []sched.RegLoc) {
+	inputLoc := map[int]sched.RegLoc{}
+	idx := 0
+	for i, op := range res.Graph.Ops {
+		if op.Op == program.Input {
+			inputLoc[idx] = res.InputLoc[program.ValueID(i)]
+			idx++
+		}
+	}
+	var outs []sched.RegLoc
+	for _, o := range res.Graph.Outputs {
+		outs = append(outs, res.RegAlloc[o])
+	}
+	return inputLoc, outs
+}

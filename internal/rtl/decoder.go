@@ -1,0 +1,299 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/netlist"
+	"repro/internal/sched"
+	"repro/internal/tta"
+)
+
+// Gate-level instruction decode: the paper's figure 4 — "the control unit
+// is actually distributed over the sockets", each socket matching the
+// instruction's ID fields with a comparator. BuildDecoded assembles a
+// decoder netlist whose only inputs are the raw instruction-word bits and
+// whose outputs are every control signal of the datapath Machine: socket
+// load enables (ID-match ORs), bus-source selects (the source-ID field
+// itself), register addresses and opcode fields (match-gated muxes).
+//
+// A DecodedMachine co-simulates the two gate-level netlists: per cycle,
+// the raw word drives the decoder; the decoder's outputs drive the
+// datapath; the datapath clocks with behavioural memory. The field
+// extraction from the word is pure wiring (bit slicing), so every logic
+// level of the control path is real gates.
+
+// DecodedMachine is a datapath plus its gate-level instruction decoder.
+type DecodedMachine struct {
+	M      *Machine
+	Format *isa.Format
+	Dec    *netlist.Netlist
+
+	decSt    *netlist.State
+	wordNets []netlist.Net
+	outPorts map[string]netlist.Port
+}
+
+// BuildDecoded assembles the datapath and its instruction decoder.
+func BuildDecoded(m *Machine) (*DecodedMachine, error) {
+	f, err := isa.NewFormat(m.Arch)
+	if err != nil {
+		return nil, err
+	}
+	// The decode relies on the instruction format's source-socket IDs
+	// coinciding with the datapath's bus-mux codes (both enumerate output
+	// ports in component order); verify rather than assume.
+	for ref, code := range m.srcIndex {
+		if f.SrcID(isa.SocketRef{Comp: ref.Comp, Port: ref.Port}) != code {
+			return nil, fmt.Errorf("rtl: source-socket numbering diverged for %v", ref)
+		}
+	}
+	b := netlist.NewBuilder(m.Arch.Name + "_decode")
+	word := b.InputBus("word", f.InstrBits())
+
+	// Field extraction (wiring only).
+	type slotNets struct {
+		src, dst, srcReg, dstReg, op []netlist.Net
+	}
+	slots := make([]slotNets, m.Arch.Buses)
+	pos := 0
+	take := func(n int) []netlist.Net {
+		nets := word[pos : pos+n]
+		pos += n
+		return nets
+	}
+	for k := 0; k < m.Arch.Buses; k++ {
+		slots[k] = slotNets{
+			src:    take(f.SrcBits),
+			dst:    take(f.DstBits),
+			srcReg: take(f.RegBits),
+			dstReg: take(f.RegBits),
+			op:     take(f.OpBits),
+		}
+	}
+	// The immediate field is forwarded verbatim.
+	immField := take(m.Arch.Width)
+	b.OutputBus("imm", immField)
+
+	// Per-bus source select: the source-ID field is the bus-mux code
+	// (identical enumeration in isa and rtl), zero-extended to the
+	// datapath's select width.
+	zero := b.Const(false)
+	for k := 0; k < m.Arch.Buses; k++ {
+		sel := make([]netlist.Net, m.selBits)
+		for i := range sel {
+			if i < len(slots[k].src) {
+				sel[i] = slots[k].src[i]
+			} else {
+				sel[i] = zero
+			}
+		}
+		b.OutputBus(fmt.Sprintf("bus%d_sel", k), sel)
+	}
+
+	// idMatch emits the socket comparator: field == constant id.
+	idMatch := func(field []netlist.Net, id int) netlist.Net {
+		terms := make([]netlist.Net, len(field))
+		for i, bit := range field {
+			if id>>uint(i)&1 == 1 {
+				terms[i] = bit
+			} else {
+				terms[i] = b.Not(bit)
+			}
+		}
+		return b.And(terms...)
+	}
+	// gatedOr builds OR_k(match_k AND field_k[bit]) for each output bit —
+	// a one-hot mux (at most one slot addresses a given socket per word).
+	gatedOr := func(matches []netlist.Net, fields [][]netlist.Net, width int) []netlist.Net {
+		out := make([]netlist.Net, width)
+		for bit := 0; bit < width; bit++ {
+			terms := make([]netlist.Net, len(matches))
+			for k, mk := range matches {
+				if bit < len(fields[k]) {
+					terms[k] = b.And(mk, fields[k][bit])
+				} else {
+					terms[k] = zero
+				}
+			}
+			out[bit] = b.Or(terms...)
+		}
+		return out
+	}
+
+	// Destination sockets: load enables, bus-of selects, write addresses,
+	// opcode/store fields.
+	busIdxFields := make([][]netlist.Net, m.Arch.Buses)
+	for k := range busIdxFields {
+		// The constant slot index, as wiring to constants.
+		idx := make([]netlist.Net, m.busBits)
+		one := b.Const(true)
+		for bIt := 0; bIt < m.busBits; bIt++ {
+			if k>>uint(bIt)&1 == 1 {
+				idx[bIt] = one
+			} else {
+				idx[bIt] = zero
+			}
+		}
+		busIdxFields[k] = idx
+	}
+	for di, ref := range f.DstRefs() {
+		id := di + 1
+		key := portKey{ref.Comp, ref.Port}
+		matches := make([]netlist.Net, m.Arch.Buses)
+		for k := 0; k < m.Arch.Buses; k++ {
+			matches[k] = idMatch(slots[k].dst, id)
+		}
+		b.Output(fmt.Sprintf("ld_c%dp%d", key.Comp, key.Port), b.Or(matches...))
+		b.OutputBus(fmt.Sprintf("busof_c%dp%d", key.Comp, key.Port),
+			gatedOr(matches, busIdxFields, m.busBits))
+		c := &m.Arch.Components[ref.Comp]
+		if c.Kind == tta.RF {
+			regFields := make([][]netlist.Net, m.Arch.Buses)
+			for k := range regFields {
+				regFields[k] = slots[k].dstReg
+			}
+			b.OutputBus(fmt.Sprintf("waddr_c%dp%d", key.Comp, key.Port),
+				gatedOr(matches, regFields, bitsFor(c.NumRegs)))
+		}
+		if c.Ports[ref.Port].Role == tta.Trigger {
+			opFields := make([][]netlist.Net, m.Arch.Buses)
+			for k := range opFields {
+				opFields[k] = slots[k].op
+			}
+			switch c.Kind {
+			case tta.ALU, tta.CMP:
+				b.OutputBus(fmt.Sprintf("op_c%d", ref.Comp), gatedOr(matches, opFields, 3))
+			case tta.LDST:
+				// Store flag: op bit 0 of the matching slot.
+				stFields := make([][]netlist.Net, m.Arch.Buses)
+				for k := range stFields {
+					stFields[k] = slots[k].op[:1]
+				}
+				b.OutputBus(fmt.Sprintf("st_c%d", ref.Comp), gatedOr(matches, stFields, 1))
+			}
+		}
+	}
+	// Source sockets of register files: read addresses.
+	for si, ref := range f.SrcRefs() {
+		c := &m.Arch.Components[ref.Comp]
+		if c.Kind != tta.RF {
+			continue
+		}
+		id := si + 1
+		matches := make([]netlist.Net, m.Arch.Buses)
+		for k := 0; k < m.Arch.Buses; k++ {
+			matches[k] = idMatch(slots[k].src, id)
+		}
+		regFields := make([][]netlist.Net, m.Arch.Buses)
+		for k := range regFields {
+			regFields[k] = slots[k].srcReg
+		}
+		b.OutputBus(fmt.Sprintf("raddr_c%dp%d", ref.Comp, ref.Port),
+			gatedOr(matches, regFields, bitsFor(c.NumRegs)))
+	}
+
+	dec, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	d := &DecodedMachine{
+		M:        m,
+		Format:   f,
+		Dec:      dec,
+		decSt:    netlist.NewState(dec),
+		outPorts: map[string]netlist.Port{},
+	}
+	wp, ok := dec.InputPort("word")
+	if !ok {
+		return nil, fmt.Errorf("rtl: decoder lost its word port")
+	}
+	d.wordNets = wp.Nets
+	for _, p := range dec.OutputPorts {
+		d.outPorts[p.Name] = p
+	}
+	return d, nil
+}
+
+// stepWord drives one raw instruction word through decoder and datapath.
+func (d *DecodedMachine) stepWord(limbs []uint64) {
+	// Word bits into the decoder (pure wiring beyond this point).
+	for i, net := range d.wordNets {
+		bit := uint64(0)
+		if i/64 < len(limbs) {
+			bit = limbs[i/64] >> uint(i%64) & 1
+		}
+		if bit == 1 {
+			d.decSt.SetInput(net, ^uint64(0))
+		} else {
+			d.decSt.SetInput(net, 0)
+		}
+	}
+	d.decSt.Eval()
+
+	// Decoder outputs onto the datapath's control inputs.
+	m := d.M
+	read := func(name string) uint64 {
+		return d.decSt.OutputBusValue(d.outPorts[name], 0)
+	}
+	for k := range m.busSel {
+		m.st.SetInputBus(m.busSel[k], read(fmt.Sprintf("bus%d_sel", k)))
+	}
+	m.st.SetInputBus(m.imm, read("imm"))
+	for key, p := range m.ldIn {
+		m.st.SetInputBus(p, read(fmt.Sprintf("ld_c%dp%d", key.Comp, key.Port)))
+	}
+	for key, p := range m.busOf {
+		m.st.SetInputBus(p, read(fmt.Sprintf("busof_c%dp%d", key.Comp, key.Port)))
+	}
+	for ci, p := range m.opIn {
+		m.st.SetInputBus(p, read(fmt.Sprintf("op_c%d", ci)))
+	}
+	for ci, p := range m.stIn {
+		m.st.SetInputBus(p, read(fmt.Sprintf("st_c%d", ci)))
+	}
+	for key, p := range m.raddr {
+		m.st.SetInputBus(p, read(fmt.Sprintf("raddr_c%dp%d", key.Comp, key.Port)))
+	}
+	for key, p := range m.waddr {
+		m.st.SetInputBus(p, read(fmt.Sprintf("waddr_c%dp%d", key.Comp, key.Port)))
+	}
+	m.clockWithMemory()
+}
+
+// RunWords executes an encoded program entirely through gates: the decoder
+// consumes raw words, the datapath consumes the decoder's outputs.
+func (d *DecodedMachine) RunWords(p *isa.Program, inputLoc map[int]sched.RegLoc, inputs []uint64,
+	outputLoc []sched.RegLoc, mem map[uint64]uint64) ([]uint64, error) {
+	if p.Format.Arch != d.M.Arch {
+		return nil, fmt.Errorf("rtl: program encoded for a different architecture instance")
+	}
+	m := d.M
+	m.Reset()
+	for k, v := range mem {
+		m.Mem[k] = v
+	}
+	for i := 0; i < len(inputs); i++ {
+		loc, ok := inputLoc[i]
+		if !ok {
+			return nil, fmt.Errorf("rtl: no seed location for input %d", i)
+		}
+		if err := m.PokeRegister(loc.RF, loc.Reg, inputs[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, word := range p.Words {
+		d.stepWord(word)
+	}
+	d.stepWord(nil) // drain: the last register write lands after the word
+	d.stepWord(nil)
+	out := make([]uint64, len(outputLoc))
+	for i, loc := range outputLoc {
+		v, err := m.PeekRegister(loc.RF, loc.Reg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,665 @@
+// Package rtl assembles a complete gate-level TTA datapath from the
+// component library — function units with their hybrid-pipeline registers,
+// register files, bus multiplexers — and executes scheduled move programs
+// on it cycle by cycle. It is the lowest-level validation tier: the same
+// schedule the behavioural simulator (internal/sim) runs is driven into
+// actual gates, and the results must agree bit for bit.
+//
+// The distributed control of a real TTA (socket ID decode, figure 4) is
+// applied as per-cycle control inputs derived from the move program — the
+// software equivalent of the instruction-decode path whose encoding is
+// exercised separately by internal/isa. Immediate values drive the buses
+// directly (the instruction's immediate field), and the data memory is
+// co-simulated behaviourally through the LD/ST unit's memory port.
+//
+// Structure: every bus is a forward-declared wire driven by a select mux
+// over all output sockets (component result registers, register-file read
+// ports, the PC, the immediate field); every component input port samples
+// a bus through its own bus-select mux. The apparent bus->component->bus
+// cycle is broken by the O/T/R registers inside every component, which the
+// netlist levelization verifies.
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/gatelib"
+	"repro/internal/netlist"
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/tta"
+)
+
+// portKey identifies a component port in the architecture.
+type portKey struct {
+	Comp int
+	Port int
+}
+
+// Machine is an assembled gate-level datapath ready to execute move
+// programs.
+type Machine struct {
+	Arch *tta.Architecture
+	N    *netlist.Netlist
+	Mem  map[uint64]uint64
+
+	st *netlist.State
+
+	width   int
+	selBits int
+	busBits int
+
+	busSel []netlist.Port
+	imm    netlist.Port
+	ldIn   map[portKey]netlist.Port
+	busOf  map[portKey]netlist.Port
+	opIn   map[int]netlist.Port
+	stIn   map[int]netlist.Port
+	raddr  map[portKey]netlist.Port
+	waddr  map[portKey]netlist.Port
+
+	memRD   map[int]netlist.Port
+	memAddr map[int]netlist.Port
+	memWD   map[int]netlist.Port
+	memWE   map[int]netlist.Port
+
+	srcIndex map[portKey]int
+	immIndex int
+
+	rfFF map[int][][]int // [comp][reg][bit] -> flip-flop index
+
+	// Cycles counts clocks since reset.
+	Cycles int
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// Build assembles the datapath netlist for an architecture.
+func Build(arch *tta.Architecture, lib *gatelib.Library) (*Machine, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if lib == nil {
+		lib = gatelib.NewLibrary()
+	}
+	m := &Machine{
+		Arch:     arch,
+		Mem:      map[uint64]uint64{},
+		width:    arch.Width,
+		ldIn:     map[portKey]netlist.Port{},
+		busOf:    map[portKey]netlist.Port{},
+		opIn:     map[int]netlist.Port{},
+		stIn:     map[int]netlist.Port{},
+		raddr:    map[portKey]netlist.Port{},
+		waddr:    map[portKey]netlist.Port{},
+		memRD:    map[int]netlist.Port{},
+		memAddr:  map[int]netlist.Port{},
+		memWD:    map[int]netlist.Port{},
+		memWE:    map[int]netlist.Port{},
+		srcIndex: map[portKey]int{},
+		rfFF:     map[int][][]int{},
+	}
+	b := netlist.NewBuilder(arch.Name + "_rtl")
+
+	// Source enumeration (bus-mux select codes).
+	var srcKeys []portKey
+	for ci := range arch.Components {
+		for _, pi := range arch.Components[ci].OutputPorts() {
+			m.srcIndex[portKey{ci, pi}] = len(srcKeys) + 1
+			srcKeys = append(srcKeys, portKey{ci, pi})
+		}
+	}
+	m.immIndex = len(srcKeys) + 1
+	m.selBits = bitsFor(m.immIndex + 1)
+	m.busBits = bitsFor(arch.Buses)
+
+	// Control inputs.
+	busSelNets := make([][]netlist.Net, arch.Buses)
+	for k := 0; k < arch.Buses; k++ {
+		busSelNets[k] = b.InputBus(fmt.Sprintf("bus%d_sel", k), m.selBits)
+	}
+	immNets := b.InputBus("imm", m.width)
+
+	// Forward-declared bus wires.
+	buses := make([][]netlist.Net, arch.Buses)
+	for k := range buses {
+		buses[k] = b.WireBus(fmt.Sprintf("bus%d", k), m.width)
+	}
+
+	// busMux builds the per-input-port data mux over the buses.
+	zero := b.Const(false)
+	busData := func(sel []netlist.Net) []netlist.Net {
+		out := make([]netlist.Net, m.width)
+		for bit := 0; bit < m.width; bit++ {
+			col := make([]netlist.Net, arch.Buses)
+			for k := 0; k < arch.Buses; k++ {
+				col[k] = buses[k][bit]
+			}
+			out[bit] = muxTree(b, sel, col, zero)
+		}
+		return out
+	}
+
+	// Instantiate components.
+	srcNets := map[portKey][]netlist.Net{}
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		name := fmt.Sprintf("c%d", ci)
+		switch c.Kind {
+		case tta.ALU, tta.CMP, tta.LDST:
+			ins := c.InputPorts()
+			oKey := portKey{ci, ins[0]}
+			tKey := portKey{ci, ins[1]}
+			ldO, busO := m.declPortCtl(b, oKey)
+			ldT, busT := m.declPortCtl(b, tKey)
+			inputs := map[string][]netlist.Net{
+				"bus_o":  busData(busO),
+				"bus_t":  busData(busT),
+				"load_o": {ldO},
+				"load_t": {ldT},
+			}
+			var comp *gatelib.Component
+			var err error
+			switch c.Kind {
+			case tta.ALU:
+				comp, err = lib.ALU(gatelib.ALUConfig{Width: m.width, Adder: c.Adder})
+				if err == nil {
+					inputs["op_in"] = b.InputBus(fmt.Sprintf("op_c%d", ci), gatelib.ALUOpBits)
+					m.opIn[ci], _ = portOfBuilder(b, fmt.Sprintf("op_c%d", ci))
+				}
+			case tta.CMP:
+				comp, err = lib.CMP(m.width)
+				if err == nil {
+					inputs["op_in"] = b.InputBus(fmt.Sprintf("op_c%d", ci), gatelib.CMPOpBits)
+					m.opIn[ci], _ = portOfBuilder(b, fmt.Sprintf("op_c%d", ci))
+				}
+			default:
+				comp, err = lib.LDST(m.width)
+				if err == nil {
+					st := b.InputBus(fmt.Sprintf("st_c%d", ci), 1)
+					inputs["is_store"] = st
+					m.stIn[ci], _ = portOfBuilder(b, fmt.Sprintf("st_c%d", ci))
+					rd := b.InputBus(fmt.Sprintf("mem_rdata_c%d", ci), m.width)
+					inputs["mem_rdata"] = rd
+					m.memRD[ci], _ = portOfBuilder(b, fmt.Sprintf("mem_rdata_c%d", ci))
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			outs, err := netlist.Instantiate(b, comp.Seq, name, inputs)
+			if err != nil {
+				return nil, err
+			}
+			srcNets[portKey{ci, c.OutputPorts()[0]}] = outs["r_out"]
+			if c.Kind == tta.LDST {
+				b.OutputBus(fmt.Sprintf("mem_addr_c%d", ci), outs["mem_addr"])
+				b.OutputBus(fmt.Sprintf("mem_wdata_c%d", ci), outs["mem_wdata"])
+				b.OutputBus(fmt.Sprintf("mem_we_c%d", ci), outs["mem_we"])
+			}
+		case tta.RF:
+			cfg := gatelib.RFConfig{Width: m.width, NumRegs: c.NumRegs, NumIn: c.NumIn, NumOut: c.NumOut}
+			comp, err := lib.RF(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ab := bitsFor(c.NumRegs)
+			inputs := map[string][]netlist.Net{}
+			for j, pi := range c.InputPorts() {
+				key := portKey{ci, pi}
+				we, busW := m.declPortCtl(b, key)
+				inputs[fmt.Sprintf("we%d", j)] = []netlist.Net{we}
+				inputs[fmt.Sprintf("wdata%d", j)] = busData(busW)
+				wa := b.InputBus(fmt.Sprintf("waddr_c%dp%d", ci, pi), ab)
+				inputs[fmt.Sprintf("waddr%d", j)] = wa
+				m.waddr[key], _ = portOfBuilder(b, fmt.Sprintf("waddr_c%dp%d", ci, pi))
+			}
+			for j, pi := range c.OutputPorts() {
+				key := portKey{ci, pi}
+				ra := b.InputBus(fmt.Sprintf("raddr_c%dp%d", ci, pi), ab)
+				inputs[fmt.Sprintf("raddr%d", j)] = ra
+				m.raddr[key], _ = portOfBuilder(b, fmt.Sprintf("raddr_c%dp%d", ci, pi))
+			}
+			outs, err := netlist.Instantiate(b, comp.Seq, name, inputs)
+			if err != nil {
+				return nil, err
+			}
+			for j, pi := range c.OutputPorts() {
+				srcNets[portKey{ci, pi}] = outs[fmt.Sprintf("rdata%d", j)]
+			}
+		case tta.PC:
+			comp, err := lib.PC(m.width)
+			if err != nil {
+				return nil, err
+			}
+			ins := c.InputPorts()
+			key := portKey{ci, ins[0]}
+			ld, busT := m.declPortCtl(b, key)
+			inputs := map[string][]netlist.Net{
+				"target": busData(busT),
+				"branch": {ld},
+				"stall":  {zero},
+			}
+			outs, err := netlist.Instantiate(b, comp.Seq, name, inputs)
+			if err != nil {
+				return nil, err
+			}
+			srcNets[portKey{ci, c.OutputPorts()[0]}] = outs["pc_out"]
+		case tta.IMM:
+			// The immediate field drives the bus mux directly; the unit's
+			// source code maps to the imm input.
+			srcNets[portKey{ci, c.OutputPorts()[0]}] = immNets
+		}
+	}
+
+	// Drive the buses: select mux over all sources (code 0 = zero).
+	for k := 0; k < arch.Buses; k++ {
+		for bit := 0; bit < m.width; bit++ {
+			col := make([]netlist.Net, m.immIndex+1)
+			col[0] = zero
+			for _, key := range srcKeys {
+				col[m.srcIndex[key]] = srcNets[key][bit]
+			}
+			col[m.immIndex] = immNets[bit]
+			b.Drive(buses[k][bit], muxTree(b, busSelNets[k], col, zero))
+		}
+		b.OutputBus(fmt.Sprintf("bus%d_out", k), buses[k])
+	}
+
+	n, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m.N = n
+	m.st = netlist.NewState(n)
+
+	// Resolve the declared control-input ports on the built netlist.
+	resolve := func(name string) (netlist.Port, error) {
+		p, ok := n.InputPort(name)
+		if !ok {
+			return netlist.Port{}, fmt.Errorf("rtl: lost input port %q", name)
+		}
+		return p, nil
+	}
+	m.busSel = make([]netlist.Port, arch.Buses)
+	for k := range m.busSel {
+		if m.busSel[k], err = resolve(fmt.Sprintf("bus%d_sel", k)); err != nil {
+			return nil, err
+		}
+	}
+	if m.imm, err = resolve("imm"); err != nil {
+		return nil, err
+	}
+	for key := range m.ldIn {
+		if m.ldIn[key], err = resolve(fmt.Sprintf("ld_c%dp%d", key.Comp, key.Port)); err != nil {
+			return nil, err
+		}
+	}
+	for key := range m.busOf {
+		if m.busOf[key], err = resolve(fmt.Sprintf("busof_c%dp%d", key.Comp, key.Port)); err != nil {
+			return nil, err
+		}
+	}
+	for ci := range m.opIn {
+		if m.opIn[ci], err = resolve(fmt.Sprintf("op_c%d", ci)); err != nil {
+			return nil, err
+		}
+	}
+	for ci := range m.stIn {
+		if m.stIn[ci], err = resolve(fmt.Sprintf("st_c%d", ci)); err != nil {
+			return nil, err
+		}
+	}
+	for key := range m.raddr {
+		if m.raddr[key], err = resolve(fmt.Sprintf("raddr_c%dp%d", key.Comp, key.Port)); err != nil {
+			return nil, err
+		}
+	}
+	for key := range m.waddr {
+		if m.waddr[key], err = resolve(fmt.Sprintf("waddr_c%dp%d", key.Comp, key.Port)); err != nil {
+			return nil, err
+		}
+	}
+	for ci := range m.memRD {
+		if m.memRD[ci], err = resolve(fmt.Sprintf("mem_rdata_c%d", ci)); err != nil {
+			return nil, err
+		}
+		op, ok := n.OutputPort(fmt.Sprintf("mem_addr_c%d", ci))
+		if !ok {
+			return nil, fmt.Errorf("rtl: lost mem_addr port")
+		}
+		m.memAddr[ci] = op
+		if op, ok = n.OutputPort(fmt.Sprintf("mem_wdata_c%d", ci)); !ok {
+			return nil, fmt.Errorf("rtl: lost mem_wdata port")
+		}
+		m.memWD[ci] = op
+		if op, ok = n.OutputPort(fmt.Sprintf("mem_we_c%d", ci)); !ok {
+			return nil, fmt.Errorf("rtl: lost mem_we port")
+		}
+		m.memWE[ci] = op
+	}
+
+	// Register-file flip-flop index for poking/peeking.
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		if c.Kind != tta.RF {
+			continue
+		}
+		cfg := gatelib.RFConfig{Width: m.width, NumRegs: c.NumRegs, NumIn: c.NumIn, NumOut: c.NumOut}
+		regs := make([][]int, c.NumRegs)
+		for r := 0; r < c.NumRegs; r++ {
+			regs[r] = make([]int, m.width)
+			for bit := 0; bit < m.width; bit++ {
+				ffName := fmt.Sprintf("c%d/%s.r%d[%d]", ci, cfg.String(), r, bit)
+				idx, ok := n.FFByName(ffName)
+				if !ok {
+					return nil, fmt.Errorf("rtl: flip-flop %q not found", ffName)
+				}
+				regs[r][bit] = idx
+			}
+		}
+		m.rfFF[ci] = regs
+	}
+	return m, nil
+}
+
+// declPortCtl declares the load-enable and bus-select inputs of one
+// component input port.
+func (m *Machine) declPortCtl(b *netlist.Builder, key portKey) (netlist.Net, []netlist.Net) {
+	ld := b.Input(fmt.Sprintf("ld_c%dp%d", key.Comp, key.Port))
+	sel := b.InputBus(fmt.Sprintf("busof_c%dp%d", key.Comp, key.Port), m.busBits)
+	m.ldIn[key] = netlist.Port{}  // placeholder; resolved after Build
+	m.busOf[key] = netlist.Port{} // placeholder
+	return ld, sel
+}
+
+// portOfBuilder is a placeholder marker; real resolution happens after
+// Build (the builder does not expose ports).
+func portOfBuilder(_ *netlist.Builder, _ string) (netlist.Port, bool) {
+	return netlist.Port{}, true
+}
+
+// muxTree selects entries[sel] (binary select, LSB-first), with `fill` for
+// out-of-range codes.
+func muxTree(b *netlist.Builder, sel []netlist.Net, entries []netlist.Net, fill netlist.Net) netlist.Net {
+	size := 1 << uint(len(sel))
+	cur := make([]netlist.Net, size)
+	for i := range cur {
+		if i < len(entries) {
+			cur[i] = entries[i]
+		} else {
+			cur[i] = fill
+		}
+	}
+	for level := 0; level < len(sel); level++ {
+		nxt := make([]netlist.Net, len(cur)/2)
+		for i := range nxt {
+			nxt[i] = b.Mux(sel[level], cur[2*i], cur[2*i+1])
+		}
+		cur = nxt
+	}
+	return cur[0]
+}
+
+// Reset returns all state to power-on values and clears memory.
+func (m *Machine) Reset() {
+	m.st.ResetFFs()
+	m.Mem = map[uint64]uint64{}
+	m.Cycles = 0
+}
+
+// PokeRegister writes a register-file register directly (pre-run input
+// seeding, mirroring sched.Result.InputLoc).
+func (m *Machine) PokeRegister(comp, reg int, v uint64) error {
+	regs, ok := m.rfFF[comp]
+	if !ok || reg < 0 || reg >= len(regs) {
+		return fmt.Errorf("rtl: no register %d in component %d", reg, comp)
+	}
+	for bit, ff := range regs[reg] {
+		m.st.SetFF(ff, v>>uint(bit)&1)
+	}
+	return nil
+}
+
+// PeekRegister reads a register-file register.
+func (m *Machine) PeekRegister(comp, reg int) (uint64, error) {
+	regs, ok := m.rfFF[comp]
+	if !ok || reg < 0 || reg >= len(regs) {
+		return 0, fmt.Errorf("rtl: no register %d in component %d", reg, comp)
+	}
+	var v uint64
+	for bit, ff := range regs[reg] {
+		v |= (m.st.FFWord(ff) & 1) << uint(bit)
+	}
+	return v, nil
+}
+
+// hwOpcode derives the opcode control value for a trigger move.
+func hwOpcode(g *program.Graph, mv sched.Move) (op int, isStore bool, err error) {
+	switch mv.Spill {
+	case sched.SpillStoreData:
+		return 0, true, nil
+	case sched.SpillLoadTrig:
+		return 0, false, nil
+	case sched.SpillNone:
+	default:
+		return 0, false, fmt.Errorf("rtl: spill kind %d is not a trigger", mv.Spill)
+	}
+	opc := g.Ops[mv.Op].Op
+	switch opc {
+	case program.Add:
+		return gatelib.ALUOpAdd, false, nil
+	case program.Sub:
+		return gatelib.ALUOpSub, false, nil
+	case program.Sll:
+		return gatelib.ALUOpSll, false, nil
+	case program.Srl:
+		return gatelib.ALUOpSrl, false, nil
+	case program.And:
+		return gatelib.ALUOpAnd, false, nil
+	case program.Or:
+		return gatelib.ALUOpOr, false, nil
+	case program.Xor:
+		return gatelib.ALUOpXor, false, nil
+	case program.Eq, program.Ne, program.Ltu, program.Lts,
+		program.Geu, program.Ges, program.Gtu, program.Gts:
+		return int(opc - program.Eq), false, nil
+	case program.Load:
+		return 0, false, nil
+	case program.Store:
+		return 0, true, nil
+	default:
+		return 0, false, fmt.Errorf("rtl: opcode %s not executable", opc)
+	}
+}
+
+// RunSchedule drives a complete move program into the gates and returns
+// the program outputs read from the register files.
+func (m *Machine) RunSchedule(res *sched.Result, inputs []uint64, mem map[uint64]uint64) ([]uint64, error) {
+	if res.Arch != m.Arch {
+		return nil, fmt.Errorf("rtl: schedule was built for a different architecture")
+	}
+	m.Reset()
+	for k, v := range mem {
+		m.Mem[k] = v
+	}
+	// Seed inputs.
+	inIdx := 0
+	for i, op := range res.Graph.Ops {
+		if op.Op != program.Input {
+			continue
+		}
+		if inIdx >= len(inputs) {
+			return nil, fmt.Errorf("rtl: %d inputs supplied, program needs more", len(inputs))
+		}
+		loc := res.InputLoc[program.ValueID(i)]
+		if err := m.PokeRegister(loc.RF, loc.Reg, inputs[inIdx]); err != nil {
+			return nil, err
+		}
+		inIdx++
+	}
+	if inIdx != len(inputs) {
+		return nil, fmt.Errorf("rtl: %d inputs supplied, program declares %d", len(inputs), inIdx)
+	}
+
+	byCycle := map[int][]ctl{}
+	last := 0
+	for _, mv := range res.Moves {
+		role := m.Arch.Components[mv.Dst.Comp].Ports[mv.Dst.Port].Role
+		c, err := ctlOfMove(res.Graph, mv, role)
+		if err != nil {
+			return nil, err
+		}
+		byCycle[mv.Cycle] = append(byCycle[mv.Cycle], c)
+		if mv.Cycle > last {
+			last = mv.Cycle
+		}
+	}
+	for cyc := 0; cyc <= last+2; cyc++ {
+		if err := m.step(byCycle[cyc]); err != nil {
+			return nil, fmt.Errorf("rtl: cycle %d: %w", cyc, err)
+		}
+	}
+
+	out := make([]uint64, len(res.Graph.Outputs))
+	for i, o := range res.Graph.Outputs {
+		loc, ok := res.RegAlloc[o]
+		if !ok {
+			return nil, fmt.Errorf("rtl: output %d never written", o)
+		}
+		v, err := m.PeekRegister(loc.RF, loc.Reg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ctl is one decoded transport of a cycle: the architectural content of a
+// move slot, independent of whether it came from a scheduler move or a
+// decoded instruction word.
+type ctl struct {
+	src     portKey
+	dst     portKey
+	srcReg  int
+	dstReg  int
+	imm     uint64
+	trigger bool
+	op      int
+	isStore bool
+}
+
+// ctlOfMove lowers a scheduler move (plus its graph, for the opcode) to a
+// control record.
+func ctlOfMove(g *program.Graph, mv sched.Move, dstRole tta.PortRole) (ctl, error) {
+	c := ctl{
+		src:    portKey{mv.Src.Comp, mv.Src.Port},
+		dst:    portKey{mv.Dst.Comp, mv.Dst.Port},
+		srcReg: mv.Src.Reg,
+		dstReg: mv.Dst.Reg,
+		imm:    mv.Src.Imm,
+	}
+	if dstRole == tta.Trigger {
+		c.trigger = true
+		op, isStore, err := hwOpcode(g, mv)
+		if err != nil {
+			return ctl{}, err
+		}
+		c.op = op
+		c.isStore = isStore
+	}
+	return c, nil
+}
+
+// step applies one cycle's transports as control signals and clocks the
+// datapath, co-simulating the data memory.
+func (m *Machine) step(ctls []ctl) error {
+	st := m.st
+	// Default idle controls.
+	for k := range m.busSel {
+		st.SetInputBus(m.busSel[k], 0)
+	}
+	st.SetInputBus(m.imm, 0)
+	for _, p := range m.ldIn {
+		st.SetInputBus(p, 0)
+	}
+	immUsed := false
+	for k, c := range ctls {
+		if k >= len(m.busSel) {
+			return fmt.Errorf("more transports than buses")
+		}
+		// Source side.
+		code, ok := m.srcIndex[c.src]
+		if !ok {
+			return fmt.Errorf("transport %+v reads unknown source socket", c)
+		}
+		srcComp := &m.Arch.Components[c.src.Comp]
+		if srcComp.Kind == tta.IMM {
+			if immUsed {
+				return fmt.Errorf("two immediate transports in one cycle (single shared field)")
+			}
+			immUsed = true
+			code = m.immIndex
+			st.SetInputBus(m.imm, c.imm)
+		}
+		if srcComp.Kind == tta.RF {
+			st.SetInputBus(m.raddr[c.src], uint64(c.srcReg))
+		}
+		st.SetInputBus(m.busSel[k], uint64(code))
+		// Destination side.
+		ld, ok := m.ldIn[c.dst]
+		if !ok {
+			return fmt.Errorf("transport %+v writes unknown destination socket", c)
+		}
+		st.SetInputBus(ld, 1)
+		st.SetInputBus(m.busOf[c.dst], uint64(k))
+		dstComp := &m.Arch.Components[c.dst.Comp]
+		if dstComp.Kind == tta.RF {
+			st.SetInputBus(m.waddr[c.dst], uint64(c.dstReg))
+		}
+		if c.trigger {
+			switch dstComp.Kind {
+			case tta.ALU, tta.CMP:
+				st.SetInputBus(m.opIn[c.dst.Comp], uint64(c.op))
+			case tta.LDST:
+				v := uint64(0)
+				if c.isStore {
+					v = 1
+				}
+				st.SetInputBus(m.stIn[c.dst.Comp], v)
+			}
+		}
+	}
+	m.clockWithMemory()
+	return nil
+}
+
+// clockWithMemory settles the combinational logic, services the LD/ST
+// units' memory ports behaviourally, and advances one clock.
+func (m *Machine) clockWithMemory() {
+	st := m.st
+	st.Eval()
+	for ci, rd := range m.memRD {
+		addr := st.OutputBusValue(m.memAddr[ci], 0)
+		st.SetInputBus(rd, m.Mem[addr])
+	}
+	st.Eval()
+	for ci := range m.memRD {
+		if st.OutputBusValue(m.memWE[ci], 0) == 1 {
+			addr := st.OutputBusValue(m.memAddr[ci], 0)
+			m.Mem[addr] = st.OutputBusValue(m.memWD[ci], 0)
+		}
+	}
+	st.Step()
+	m.Cycles++
+}
+
+// Stats returns the structural summary of the assembled datapath.
+func (m *Machine) Stats() netlist.Stats { return m.N.Stats() }

@@ -1,0 +1,200 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gatelib"
+	"repro/internal/netlist"
+)
+
+func buildCounterish(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	// 4-bit register whose D is Q xor input — captures are observable.
+	b := netlist.NewBuilder("xorreg")
+	in := b.InputBus("in", 4)
+	q := make([]netlist.Net, 4)
+	ffs := make([]int, 4)
+	for i := range q {
+		q[i], ffs[i] = b.FFDecl("r"+string(rune('0'+i)), false)
+	}
+	for i := range q {
+		b.SetD(ffs[i], b.Xor(q[i], in[i]))
+	}
+	b.OutputBus("q", q)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTestCyclesFormula(t *testing.T) {
+	if got := TestCycles(0, 10); got != 0 {
+		t.Errorf("0 patterns cost %d cycles, want 0", got)
+	}
+	if got := TestCycles(1, 10); got != 21 {
+		t.Errorf("1 pattern, nl=10: %d cycles, want 21", got)
+	}
+	if got := TestCycles(100, 58); got != 100*59+58 {
+		t.Errorf("100 patterns nl=58: %d, want %d", got, 100*59+58)
+	}
+	// Monotone in both arguments.
+	if TestCycles(10, 20) <= TestCycles(9, 20) || TestCycles(10, 20) <= TestCycles(10, 19) {
+		t.Error("TestCycles not monotone")
+	}
+}
+
+func TestInsertPreservesFunction(t *testing.T) {
+	src := buildCounterish(t)
+	ins, err := Insert(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChainLength(ins.N) != ChainLength(src) {
+		t.Fatalf("scan insertion changed FF count: %d vs %d", ChainLength(ins.N), ChainLength(src))
+	}
+	// With scan_en low, the scanned netlist must behave identically.
+	stSrc := netlist.NewState(src)
+	stIns := netlist.NewState(ins.N)
+	pInSrc, _ := src.InputPort("in")
+	pInIns, _ := ins.N.InputPort("in")
+	pEn, _ := ins.N.InputPort("scan_en")
+	pSi, _ := ins.N.InputPort("scan_in")
+	pQSrc, _ := src.OutputPort("q")
+	pQIns, _ := ins.N.OutputPort("q")
+	stIns.SetInputBus(pEn, 0)
+	stIns.SetInputBus(pSi, 0)
+	rng := rand.New(rand.NewSource(2))
+	for cyc := 0; cyc < 20; cyc++ {
+		v := uint64(rng.Intn(16))
+		stSrc.SetInputBus(pInSrc, v)
+		stIns.SetInputBus(pInIns, v)
+		stSrc.Eval()
+		stIns.Eval()
+		if a, b := stSrc.OutputBusValue(pQSrc, 0), stIns.OutputBusValue(pQIns, 0); a != b {
+			t.Fatalf("cycle %d: functional mismatch %x vs %x", cyc, a, b)
+		}
+		stSrc.Step()
+		stIns.Step()
+	}
+}
+
+func TestScanShiftLoadsAndUnloadsChain(t *testing.T) {
+	src := buildCounterish(t)
+	ins, err := Insert(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift a known vector in; reading the chain back must return it.
+	vec := []uint8{1, 0, 1, 1}
+	h.ShiftIn(vec)
+	got := h.ChainState()
+	for i := range vec {
+		if got[i] != vec[i] {
+			t.Fatalf("chain state %v, want %v", got, vec)
+		}
+	}
+}
+
+func TestScanCaptureObservesCombinationalLogic(t *testing.T) {
+	src := buildCounterish(t)
+	ins, err := Insert(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load state 0101, apply input 0011, capture: D = Q ^ in = 0110.
+	h.ShiftIn([]uint8{1, 0, 1, 0}) // r0=1 r1=0 r2=1 r3=0
+	pIn, _ := ins.N.InputPort("in")
+	h.State().SetInputBus(pIn, 0b1100) // in0=0 in1=0 in2=1 in3=1
+	h.Capture()
+	got := h.ChainState()
+	want := []uint8{1 ^ 0, 0 ^ 0, 1 ^ 1, 0 ^ 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("captured %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertOnRealALU(t *testing.T) {
+	alu, err := gatelib.NewALU(gatelib.ALUConfig{Width: 8, Adder: gatelib.AdderRipple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Insert(alu.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChainLength(ins.N) != len(alu.Seq.FFs) {
+		t.Fatalf("chain length %d, want %d", ChainLength(ins.N), len(alu.Seq.FFs))
+	}
+	if AreaOverhead(alu.Seq) <= 0 {
+		t.Fatal("scan area overhead must be positive")
+	}
+	// Round-trip a random chain state through the real ALU's scan chain.
+	h, err := NewHarness(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	vec := make([]uint8, ChainLength(ins.N))
+	for i := range vec {
+		vec[i] = uint8(rng.Intn(2))
+	}
+	h.ShiftIn(vec)
+	got := h.ChainState()
+	for i := range vec {
+		if got[i] != vec[i] {
+			t.Fatalf("ALU chain bit %d: got %d want %d", i, got[i], vec[i])
+		}
+	}
+}
+
+func TestMultiChainCycles(t *testing.T) {
+	// One chain reduces to the single-chain formula.
+	if MultiChainCycles(100, 58, 1) != TestCycles(100, 58) {
+		t.Error("k=1 disagrees with TestCycles")
+	}
+	// More chains monotonically reduce test time.
+	prev := MultiChainCycles(100, 58, 1)
+	for k := 2; k <= 8; k *= 2 {
+		cur := MultiChainCycles(100, 58, k)
+		if cur >= prev {
+			t.Errorf("k=%d: %d cycles not below k=%d's %d", k, cur, k/2, prev)
+		}
+		prev = cur
+	}
+	if MultiChainCycles(0, 58, 2) != 0 {
+		t.Error("zero patterns should cost zero")
+	}
+	if MultiChainCycles(10, 58, 0) != TestCycles(10, 58) {
+		t.Error("k<1 should clamp to one chain")
+	}
+}
+
+func TestMultiChainAdvantageRetained(t *testing.T) {
+	// The paper's Table-1 note: with multiple scan chains both approaches
+	// speed up, and the functional approach keeps a >1 advantage for every
+	// realistic chain count (ALU-like numbers: np=86, nl=61, CD=3,
+	// socket np=12).
+	for k := 1; k <= 8; k++ {
+		adv := MultiChainAdvantage(86, 61, 3, 12, k)
+		if adv <= 1.0 {
+			t.Errorf("k=%d chains: advantage %.2f lost", k, adv)
+		}
+	}
+	// The advantage narrows as chains multiply (scan gets cheaper) but
+	// remains: compare extremes.
+	if MultiChainAdvantage(86, 61, 3, 12, 8) >= MultiChainAdvantage(86, 61, 3, 12, 1) {
+		t.Error("advantage should narrow with more chains")
+	}
+}

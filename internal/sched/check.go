@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/tta"
+)
+
+// Check validates the structural invariants of a schedule independently of
+// how it was produced: per-cycle bus and register-file port capacities,
+// single-immediate-per-unit bandwidth, the function-unit transport
+// protocol of relations (2)-(8), and read-after-write register
+// consistency. It is the referee the fuzz suites run against every
+// schedule.
+func Check(res *Result) error {
+	arch := res.Arch
+	moves := append([]Move(nil), res.Moves...)
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Cycle < moves[j].Cycle })
+
+	type fuState struct {
+		trigCycle int // -1 when idle
+		producing bool
+		busyUntil int
+	}
+	fus := map[int]*fuState{}
+	for ci := range arch.Components {
+		switch arch.Components[ci].Kind {
+		case tta.ALU, tta.CMP, tta.LDST:
+			fus[ci] = &fuState{trigCycle: -1, busyUntil: -1}
+		}
+	}
+
+	// Register visibility: regReady[(rf,reg)] = earliest read cycle.
+	type regKey struct{ rf, reg int }
+	regReady := map[regKey]int{}
+	for _, loc := range res.InputLoc {
+		regReady[regKey{loc.RF, loc.Reg}] = 0
+	}
+
+	i := 0
+	for i < len(moves) {
+		j := i
+		for j < len(moves) && moves[j].Cycle == moves[i].Cycle {
+			j++
+		}
+		cyc := moves[i].Cycle
+		group := moves[i:j]
+		if len(group) > arch.Buses {
+			return fmt.Errorf("sched.Check: cycle %d uses %d buses of %d", cyc, len(group), arch.Buses)
+		}
+		rfReads := map[int]int{}
+		rfWrites := map[int]int{}
+		immUse := map[int]int{}
+		for _, m := range group {
+			src := &arch.Components[m.Src.Comp]
+			switch src.Kind {
+			case tta.RF:
+				rfReads[m.Src.Comp]++
+				if rfReads[m.Src.Comp] > src.NumOut {
+					return fmt.Errorf("sched.Check: cycle %d overloads %s read ports", cyc, src.Name)
+				}
+				ready, ok := regReady[regKey{m.Src.Comp, m.Src.Reg}]
+				if !ok {
+					return fmt.Errorf("sched.Check: cycle %d reads never-written %s.r%d", cyc, src.Name, m.Src.Reg)
+				}
+				if cyc < ready {
+					return fmt.Errorf("sched.Check: cycle %d reads %s.r%d before it is visible (ready %d)",
+						cyc, src.Name, m.Src.Reg, ready)
+				}
+			case tta.IMM:
+				immUse[m.Src.Comp]++
+				if immUse[m.Src.Comp] > 1 {
+					return fmt.Errorf("sched.Check: cycle %d uses immediate unit %s twice", cyc, src.Name)
+				}
+			case tta.ALU, tta.CMP, tta.LDST:
+				st := fus[m.Src.Comp]
+				if st.trigCycle < 0 || !st.producing {
+					return fmt.Errorf("sched.Check: cycle %d reads result of idle %s", cyc, src.Name)
+				}
+				if cyc < st.trigCycle+3 {
+					return fmt.Errorf("sched.Check: cycle %d reads %s result %d cycles after trigger (relation (8))",
+						cyc, src.Name, cyc-st.trigCycle)
+				}
+				st.trigCycle = -1
+				st.producing = false
+				st.busyUntil = cyc
+			}
+
+			dst := &arch.Components[m.Dst.Comp]
+			switch dst.Kind {
+			case tta.RF:
+				rfWrites[m.Dst.Comp]++
+				if rfWrites[m.Dst.Comp] > dst.NumIn {
+					return fmt.Errorf("sched.Check: cycle %d overloads %s write ports", cyc, dst.Name)
+				}
+				key := regKey{m.Dst.Comp, m.Dst.Reg}
+				if prev, ok := regReady[key]; ok && prev > cyc+1 {
+					return fmt.Errorf("sched.Check: cycle %d write to %s.r%d races an in-flight write",
+						cyc, dst.Name, m.Dst.Reg)
+				}
+				regReady[key] = cyc + 1
+			case tta.ALU, tta.CMP, tta.LDST:
+				st := fus[m.Dst.Comp]
+				// Stores retire by time: the memory write commits two
+				// cycles after the trigger, with no result transport.
+				if st.trigCycle >= 0 && !st.producing && cyc >= st.trigCycle+2 {
+					st.trigCycle = -1
+				}
+				role := dst.Ports[m.Dst.Port].Role
+				if m.Trigger != (role == tta.Trigger) {
+					return fmt.Errorf("sched.Check: cycle %d move flags trigger=%v onto role %s",
+						cyc, m.Trigger, role)
+				}
+				if role == tta.Trigger {
+					if st.trigCycle >= 0 {
+						return fmt.Errorf("sched.Check: cycle %d re-triggers %s before its result left", cyc, dst.Name)
+					}
+					st.trigCycle = cyc
+					st.producing = producesResult(res.Graph, m)
+					if !st.producing {
+						st.busyUntil = cyc + 2 // store commit
+					}
+				} else if st.trigCycle >= 0 {
+					return fmt.Errorf("sched.Check: cycle %d loads %s operand mid-operation", cyc, dst.Name)
+				}
+			}
+		}
+		i = j
+	}
+	// No function unit may be left holding an unread result.
+	for ci, st := range fus {
+		if st.trigCycle >= 0 && st.producing {
+			return fmt.Errorf("sched.Check: %s result never read", arch.Components[ci].Name)
+		}
+	}
+	return nil
+}
+
+// producesResult reports whether a trigger move starts a value-producing
+// operation (loads and ALU/CMP ops do; stores do not).
+func producesResult(g *program.Graph, m Move) bool {
+	switch m.Spill {
+	case SpillStoreData:
+		return false
+	case SpillLoadTrig:
+		return true
+	}
+	if m.Op == program.NoValue {
+		return false
+	}
+	return g.Ops[m.Op].Defines()
+}

@@ -1,0 +1,335 @@
+package sched
+
+import (
+	"repro/internal/program"
+	"repro/internal/tta"
+)
+
+// rfPos maps a component index (of an RF) to its position in s.rfs.
+func (s *scheduler) rfPos(comp int) int {
+	for i, rf := range s.rfs {
+		if rf == comp {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocReg claims a free register, preferring the register file with the
+// most free capacity (balances pressure across RF1/RF2).
+func (s *scheduler) allocReg(cycle int) (RegLoc, bool) {
+	best, bestFree := -1, 0
+	for i := range s.rfs {
+		free := 0
+		for _, f := range s.rfFree[i] {
+			if f {
+				free++
+			}
+		}
+		if free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	if best < 0 {
+		return RegLoc{-1, -1}, false
+	}
+	for j, f := range s.rfFree[best] {
+		if f {
+			s.rfFree[best][j] = false
+			s.live++
+			if s.live > s.peakLive {
+				s.peakLive = s.live
+			}
+			return RegLoc{RF: s.rfs[best], Reg: j}, true
+		}
+	}
+	return RegLoc{-1, -1}, false
+}
+
+func (s *scheduler) freeReg(loc RegLoc) {
+	if loc.RF < 0 {
+		return
+	}
+	pos := s.rfPos(loc.RF)
+	if pos >= 0 && !s.rfFree[pos][loc.Reg] {
+		s.rfFree[pos][loc.Reg] = true
+		s.live--
+	}
+}
+
+// sourceReadable reports whether value v can be read at the current cycle
+// and, if so, which endpoint supplies it (without committing resources).
+func (s *scheduler) sourceReadable(v program.ValueID, cycle int) (Endpoint, bool) {
+	vs := &s.vals[v]
+	if vs.isConst {
+		for _, imm := range s.imms {
+			if s.immUsed[imm] == 0 {
+				c := &s.arch.Components[imm]
+				return Endpoint{Comp: imm, Port: c.OutputPorts()[0], Reg: -1, Imm: vs.constVal}, true
+			}
+		}
+		return Endpoint{}, false
+	}
+	if !vs.alloc || vs.readyAt > cycle {
+		return Endpoint{}, false
+	}
+	rf := vs.loc.RF
+	c := &s.arch.Components[rf]
+	if s.rfReads[rf] >= c.NumOut {
+		return Endpoint{}, false
+	}
+	outs := c.OutputPorts()
+	port := outs[s.rfReads[rf]%len(outs)]
+	return Endpoint{Comp: rf, Port: port, Reg: vs.loc.Reg}, true
+}
+
+// commitRead consumes the per-cycle resources of a scheduled read and
+// releases the register after the value's last use.
+func (s *scheduler) commitRead(v program.ValueID, src Endpoint) {
+	vs := &s.vals[v]
+	if vs.isConst {
+		s.immUsed[src.Comp]++
+		return
+	}
+	s.rfReads[src.Comp]++
+	vs.usesLeft--
+	if vs.usesLeft == 0 {
+		s.freeReg(vs.loc)
+		vs.alloc = false
+	}
+}
+
+// fuFor returns a free function unit executing the op class, or -1.
+func (s *scheduler) fuFor(class program.Class, cycle int) int {
+	var kind tta.Kind
+	switch class {
+	case program.ClassALU:
+		kind = tta.ALU
+	case program.ClassCMP:
+		kind = tta.CMP
+	default:
+		kind = tta.LDST
+	}
+	for _, fu := range s.fuByKind[kind] {
+		if s.fuBusyBy[fu] < cycle {
+			return fu
+		}
+	}
+	return -1
+}
+
+func portOf(c *tta.Component, role tta.PortRole) int {
+	for i, p := range c.Ports {
+		if p.Role == role {
+			return i
+		}
+	}
+	return -1
+}
+
+// tryStart begins an op: the operand move (and, resources permitting, the
+// trigger in the same cycle). Loads have no separate operand move; their
+// address move is the trigger itself.
+func (s *scheduler) tryStart(oi int, cycle int) bool {
+	op := s.g.Ops[oi]
+	st := &s.ops[oi]
+
+	// Dataflow readiness (cheap pre-checks before resource commitment).
+	for _, ref := range []program.ValueID{op.A, op.B} {
+		if ref == program.NoValue {
+			continue
+		}
+		vs := &s.vals[ref]
+		if !vs.isConst && (!vs.alloc || vs.readyAt > cycle) {
+			if !vs.alloc && vs.spillSlot >= 0 {
+				s.requestReload(ref)
+			}
+			return false
+		}
+	}
+	if op.MemPred != program.NoValue {
+		pst := &s.ops[op.MemPred]
+		if pst.tTrig < 0 {
+			return false
+		}
+	}
+
+	fu := s.fuFor(op.Op.Class(), cycle)
+	if fu == -1 {
+		return false
+	}
+
+	if op.Op == program.Load {
+		// Single move: address -> T (triggers the memory read).
+		if s.busFree < 1 || cycle < s.memReady {
+			return false
+		}
+		src, ok := s.sourceReadable(op.A, cycle)
+		if !ok {
+			return false
+		}
+		// The result register must be allocatable; the address read itself
+		// may be the event that frees one.
+		if !s.hasFreeReg() && !s.readWillFree(op.A) {
+			s.wantSpill = true
+			return false
+		}
+		c := &s.arch.Components[fu]
+		dst := Endpoint{Comp: fu, Port: portOf(c, tta.Trigger), Reg: -1}
+		s.busFree--
+		s.commitRead(op.A, src)
+		resLoc, ok := s.allocReg(cycle)
+		if !ok {
+			// Unreachable by the guard above; fail loudly in development.
+			panic("sched: result allocation failed after free-on-read guard")
+		}
+		st.resLoc = resLoc
+		s.emit(Move{Cycle: cycle, Src: src, Dst: dst,
+			Val: op.A, Op: program.ValueID(oi), Trigger: true})
+		st.started = true
+		st.tFirstIn = cycle
+		st.tTrig = cycle
+		st.fu = fu
+		s.fuOf[program.ValueID(oi)] = fu
+		s.fuBusyBy[fu] = cycle + 1000000 // released by tryFinish
+		s.memReady = cycle + 1
+		return true
+	}
+
+	// Two-operand op: move A -> O.
+	if s.busFree < 1 {
+		return false
+	}
+	src, ok := s.sourceReadable(op.A, cycle)
+	if !ok {
+		return false
+	}
+	if op.Defines() && !s.hasFreeReg() && !s.readWillFree(op.A) {
+		// No room for the result: reading A won't free its register
+		// either. Starting now would wedge the function unit.
+		s.wantSpill = true
+		return false
+	}
+	c := &s.arch.Components[fu]
+	dst := Endpoint{Comp: fu, Port: portOf(c, tta.Operand), Reg: -1}
+	s.busFree--
+	s.commitRead(op.A, src)
+	if op.Defines() {
+		resLoc, ok := s.allocReg(cycle)
+		if !ok {
+			panic("sched: result allocation failed after free-on-read guard")
+		}
+		st.resLoc = resLoc
+	}
+	s.emit(Move{Cycle: cycle, Src: src, Dst: dst,
+		Val: op.A, Op: program.ValueID(oi)})
+	st.started = true
+	st.tFirstIn = cycle
+	st.fu = fu
+	s.fuOf[program.ValueID(oi)] = fu
+	s.fuBusyBy[fu] = cycle + 1000000
+
+	// Opportunistic same-cycle trigger (relation (2) allows C(T) == C(O)).
+	s.tryTrigger(oi, cycle)
+	return true
+}
+
+// tryTrigger schedules the trigger move of a started op.
+func (s *scheduler) tryTrigger(oi int, cycle int) bool {
+	op := s.g.Ops[oi]
+	st := &s.ops[oi]
+	if st.tTrig >= 0 || !st.started || cycle < st.tFirstIn {
+		return false
+	}
+	if s.busFree < 1 {
+		return false
+	}
+	if op.Op == program.Store && cycle < s.memReady {
+		return false
+	}
+	src, ok := s.sourceReadable(op.B, cycle)
+	if !ok {
+		vs := &s.vals[op.B]
+		if !vs.isConst && !vs.alloc && vs.spillSlot >= 0 {
+			s.requestReload(op.B)
+		}
+		return false
+	}
+	c := &s.arch.Components[st.fu]
+	dst := Endpoint{Comp: st.fu, Port: portOf(c, tta.Trigger), Reg: -1}
+	s.busFree--
+	s.commitRead(op.B, src)
+	s.emit(Move{Cycle: cycle, Src: src, Dst: dst,
+		Val: op.B, Op: program.ValueID(oi), Trigger: true})
+	st.tTrig = cycle
+	if op.Op == program.Store {
+		s.memReady = cycle + 1
+	}
+	return true
+}
+
+// tryFinish completes an op: stores finish when the memory write commits,
+// value-producing ops when their result moves into a register file.
+func (s *scheduler) tryFinish(oi int, cycle int) bool {
+	op := s.g.Ops[oi]
+	st := &s.ops[oi]
+	if op.Op == program.Store {
+		// Memory write commits at the R stage, two cycles after the
+		// trigger move.
+		if cycle < st.tTrig+2 {
+			return false
+		}
+		s.fuBusyBy[st.fu] = -1
+		st.done = true
+		return true
+	}
+	// Result leaves through F_out at the earliest one cycle after R
+	// (relation (8)): bus cycle >= trigger + 3.
+	if cycle < st.tTrig+3 {
+		return false
+	}
+	if s.busFree < 1 {
+		return false
+	}
+	// The destination register was reserved at start; only the write port
+	// and a bus are needed now.
+	rfComp := st.resLoc.RF
+	c := &s.arch.Components[rfComp]
+	if s.rfWrites[rfComp] >= c.NumIn {
+		return false
+	}
+	s.rfWrites[rfComp]++
+	s.busFree--
+	fuC := &s.arch.Components[st.fu]
+	src := Endpoint{Comp: st.fu, Port: portOf(fuC, tta.Result), Reg: -1}
+	ins := c.InputPorts()
+	dst := Endpoint{Comp: rfComp, Port: ins[(s.rfWrites[rfComp]-1)%len(ins)], Reg: st.resLoc.Reg}
+	s.emit(Move{Cycle: cycle, Src: src, Dst: dst,
+		Val: program.ValueID(oi), Op: program.ValueID(oi)})
+
+	vs := &s.vals[oi]
+	vs.loc = st.resLoc
+	vs.readyAt = cycle + 1
+	vs.alloc = true
+	if vs.usesLeft == 0 {
+		// Dead value: release immediately after materialization.
+		s.freeReg(vs.loc)
+		vs.alloc = false
+	}
+	s.regAlloc[program.ValueID(oi)] = vs.loc
+
+	oT := st.tFirstIn + 1
+	if op.Op == program.Load {
+		oT = -1
+	}
+	s.timings[program.ValueID(oi)] = tta.OpTiming{
+		Fin:  st.tFirstIn,
+		O:    oT,
+		T:    st.tTrig + 1,
+		R:    st.tTrig + 2,
+		Fout: cycle,
+	}
+	s.fuBusyBy[st.fu] = -1
+	st.done = true
+	return true
+}

@@ -1,0 +1,511 @@
+// Package sched schedules operation dataflow graphs onto TTA architectures
+// as data-transport (move) programs — the role the MOVE framework's
+// compiler/scheduler plays in the paper. It performs priority-based list
+// scheduling under the architecture's resource constraints:
+//
+//   - at most n_b moves per cycle (one per MOVE bus; the interconnection
+//     network is a full crossbar, as in the paper's figure 1);
+//   - one operation in flight per function unit (conservative hybrid
+//     pipelining: a unit is busy from its first operand move until its
+//     result leaves through the output socket);
+//   - register-file read/write ports limit operand fetch and writeback
+//     bandwidth, and register capacity limits live values;
+//   - one immediate per cycle per Immediate unit.
+//
+// Transport timing follows the paper's relations (2)-(8): a move on the
+// bus at cycle t passes the socket decode (F_in) at t and loads the O or T
+// register at t+1; the result register R loads one cycle after the
+// trigger; the result may leave on a bus no earlier than one cycle after
+// that (F_out). The minimum bus-to-bus distance is therefore CD = 3
+// cycles, equation (9).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/tta"
+)
+
+// Endpoint is one side of a move: a component port, optionally a register
+// within a register file. A source endpoint on an Immediate unit carries
+// the literal in Imm (the value travels in the instruction's immediate
+// field).
+type Endpoint struct {
+	Comp int // component index in the architecture
+	Port int // port index within the component
+	Reg  int // register index for RF endpoints, -1 otherwise
+	Imm  uint64
+}
+
+func (e Endpoint) String() string {
+	if e.Reg >= 0 {
+		return fmt.Sprintf("c%d.p%d[r%d]", e.Comp, e.Port, e.Reg)
+	}
+	return fmt.Sprintf("c%d.p%d", e.Comp, e.Port)
+}
+
+// SpillKind classifies the moves of compiler-inserted register spills.
+type SpillKind uint8
+
+// Spill move kinds. Spill code is emitted by the scheduler when register
+// pressure exceeds the architecture's register-file capacity: the victim
+// value is stored to a reserved memory region through the LD/ST unit and
+// reloaded before its next use. Since IR values are immutable (SSA), a
+// value that already has a spill slot can be dropped from its register
+// without a second store.
+const (
+	SpillNone       SpillKind = iota
+	SpillStoreAddr            // immediate spill address -> LD/ST operand
+	SpillStoreData            // register value -> LD/ST trigger (memory write)
+	SpillLoadTrig             // immediate spill address -> LD/ST trigger (memory read)
+	SpillLoadResult           // LD/ST result -> register
+)
+
+// SpillBase is the first word address of the reserved spill region.
+// Programs must not address memory at or above this base.
+const SpillBase uint64 = 0xE000
+
+// Move is one scheduled data transport.
+type Move struct {
+	Cycle   int
+	Src     Endpoint
+	Dst     Endpoint
+	Val     program.ValueID // value transported (NoValue for a dummy)
+	Op      program.ValueID // graph operation this move belongs to (NoValue for spills)
+	Trigger bool            // this move loads the trigger register
+	Spill   SpillKind
+}
+
+func (m Move) String() string {
+	t := ""
+	if m.Trigger {
+		t = "!"
+	}
+	return fmt.Sprintf("@%d %s -> %s%s", m.Cycle, m.Src, m.Dst, t)
+}
+
+// RegLoc records where a value was allocated.
+type RegLoc struct {
+	RF  int // component index of the register file
+	Reg int
+}
+
+// Result is a complete schedule.
+type Result struct {
+	Arch   *tta.Architecture
+	Graph  *program.Graph
+	Moves  []Move
+	Cycles int
+	// Timings maps FU-executed graph ops to their transport timing, for
+	// verification against the paper's relations. Stores are omitted (they
+	// produce no F_out event).
+	Timings map[program.ValueID]tta.OpTiming
+	// FUOf maps graph ops to the component index that executed them.
+	FUOf map[program.ValueID]int
+	// RegAlloc maps values to their final register-file location.
+	RegAlloc map[program.ValueID]RegLoc
+	// InputLoc maps program inputs to the registers they must be seeded
+	// into before execution (their initial placement; RegAlloc may differ
+	// after spilling).
+	InputLoc map[program.ValueID]RegLoc
+	// PeakLive is the maximum simultaneously allocated registers.
+	PeakLive int
+	// Spills and Reloads count the spill traffic the register pressure
+	// forced (0 on amply-registered architectures).
+	Spills  int
+	Reloads int
+}
+
+// MovesPerCycle returns a histogram of bus occupancy.
+func (r *Result) MovesPerCycle() []int {
+	h := make([]int, r.Cycles+1)
+	for _, m := range r.Moves {
+		h[m.Cycle]++
+	}
+	return h
+}
+
+// Priority selects the list-scheduling order.
+type Priority uint8
+
+// Scheduling priorities.
+const (
+	// CriticalPath orders ready operations by their longest path to an
+	// output (the standard list-scheduling heuristic; default).
+	CriticalPath Priority = iota
+	// SourceOrder keeps program order — the naive baseline the ablation
+	// benchmarks compare against.
+	SourceOrder
+)
+
+func (p Priority) String() string {
+	if p == SourceOrder {
+		return "source-order"
+	}
+	return "critical-path"
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// MaxCycles aborts a runaway schedule (0 = derive from graph size).
+	MaxCycles int
+	// Priority selects the list-scheduling order (default CriticalPath).
+	Priority Priority
+}
+
+type valueState struct {
+	loc      RegLoc
+	readyAt  int // cycle from which the value can be read from its RF
+	usesLeft int
+	isConst  bool
+	constVal uint64
+	alloc    bool
+	isOutput bool // outputs are pinned in registers (never spilled)
+
+	spillSlot    int  // memory slot index (-1 = none assigned)
+	spillValid   bool // the memory copy at spillSlot is written and usable
+	spillReadyAt int  // earliest cycle a reload may trigger
+	loadPending  bool
+	// noEvictUntil shields a freshly reloaded value from immediate
+	// re-eviction (otherwise demand spilling can evict the operand of the
+	// very op it is trying to unblock, forever).
+	noEvictUntil int
+}
+
+type opState struct {
+	id       program.ValueID
+	fu       int // component index executing the op
+	started  bool
+	tFirstIn int // bus cycle of the first input move
+	tTrig    int // bus cycle of the trigger move (-1 until scheduled)
+	done     bool
+	// resLoc is the register reserved for the result at start time —
+	// reserving early guarantees a started operation can always retire, so
+	// function units never block on register starvation.
+	resLoc RegLoc
+}
+
+// Schedule maps the graph onto the architecture. It returns an error when
+// the architecture cannot execute the graph (missing unit kinds, too few
+// registers) or when scheduling exceeds the cycle bound.
+func Schedule(g *program.Graph, arch *tta.Architecture, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newScheduler(g, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+type scheduler struct {
+	g    *program.Graph
+	arch *tta.Architecture
+	opts Options
+
+	height []int // critical-path priority per op
+
+	fuByKind map[tta.Kind][]int
+	rfs      []int // component indices of register files
+	imms     []int
+	rfFree   [][]bool // per RF: free register map
+
+	vals     []valueState
+	ops      []opState
+	fuBusyBy []int // per component: cycle until which the FU is busy (-1 free)
+
+	// Per-cycle resource counters (reset each cycle).
+	busFree  int
+	rfReads  map[int]int
+	rfWrites map[int]int
+	immUsed  map[int]int
+
+	moves    []Move
+	timings  map[program.ValueID]tta.OpTiming
+	fuOf     map[program.ValueID]int
+	regAlloc map[program.ValueID]RegLoc
+	inputLoc map[program.ValueID]RegLoc
+	live     int
+	peakLive int
+
+	memReady int // earliest cycle the next memory op may trigger
+	lastMem  program.ValueID
+
+	// Spill machinery.
+	spills      []*spillJob
+	spillSlots  int
+	spillCount  int // total spill stores emitted
+	reloadCount int
+	consumers   [][]int32 // per value: consuming op indices (ascending)
+	stallStreak int
+	movedNow    bool
+	// wantSpill is raised when an op could start but for register
+	// capacity — demand-driven spilling keeps function units busy even
+	// when other traffic prevents a full stall.
+	wantSpill bool
+}
+
+func newScheduler(g *program.Graph, arch *tta.Architecture, opts Options) (*scheduler, error) {
+	s := &scheduler{
+		g:        g,
+		arch:     arch,
+		opts:     opts,
+		fuByKind: map[tta.Kind][]int{},
+		timings:  map[program.ValueID]tta.OpTiming{},
+		fuOf:     map[program.ValueID]int{},
+		regAlloc: map[program.ValueID]RegLoc{},
+		inputLoc: map[program.ValueID]RegLoc{},
+	}
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		switch c.Kind {
+		case tta.RF:
+			s.rfs = append(s.rfs, ci)
+		case tta.IMM:
+			s.imms = append(s.imms, ci)
+		default:
+			s.fuByKind[c.Kind] = append(s.fuByKind[c.Kind], ci)
+		}
+	}
+	st := g.Stats()
+	if st.ALU > 0 && len(s.fuByKind[tta.ALU]) == 0 {
+		return nil, fmt.Errorf("sched: graph needs an ALU, architecture has none")
+	}
+	if st.CMP > 0 && len(s.fuByKind[tta.CMP]) == 0 {
+		return nil, fmt.Errorf("sched: graph needs a CMP unit, architecture has none")
+	}
+	if st.Loads+st.Stores > 0 && len(s.fuByKind[tta.LDST]) == 0 {
+		return nil, fmt.Errorf("sched: graph needs a LD/ST unit, architecture has none")
+	}
+	if st.Consts > 0 && len(s.imms) == 0 {
+		return nil, fmt.Errorf("sched: graph needs an Immediate unit, architecture has none")
+	}
+	if len(s.rfs) == 0 {
+		return nil, fmt.Errorf("sched: architecture has no register file")
+	}
+	totalRegs := 0
+	for _, rf := range s.rfs {
+		totalRegs += arch.Components[rf].NumRegs
+	}
+	if totalRegs < st.Inputs+st.Outputs {
+		return nil, fmt.Errorf("sched: %d registers cannot hold %d inputs + %d outputs",
+			totalRegs, st.Inputs, st.Outputs)
+	}
+
+	s.rfFree = make([][]bool, len(s.rfs))
+	for i, rf := range s.rfs {
+		s.rfFree[i] = make([]bool, arch.Components[rf].NumRegs)
+		for j := range s.rfFree[i] {
+			s.rfFree[i][j] = true
+		}
+	}
+	s.fuBusyBy = make([]int, len(arch.Components))
+	for i := range s.fuBusyBy {
+		s.fuBusyBy[i] = -1
+	}
+	s.height = computeHeights(g)
+	s.vals = make([]valueState, len(g.Ops))
+	s.ops = make([]opState, len(g.Ops))
+	s.memReady = 0
+	s.lastMem = program.NoValue
+	return s, nil
+}
+
+// computeHeights returns the longest path (in ops) from each op to a
+// graph output — the list-scheduling priority.
+func computeHeights(g *program.Graph) []int {
+	h := make([]int, len(g.Ops))
+	users := make([][]int32, len(g.Ops))
+	for i, op := range g.Ops {
+		for _, ref := range []program.ValueID{op.A, op.B, op.MemPred} {
+			if ref != program.NoValue {
+				users[ref] = append(users[ref], int32(i))
+			}
+		}
+	}
+	for i := len(g.Ops) - 1; i >= 0; i-- {
+		best := 0
+		for _, u := range users[i] {
+			if h[u]+1 > best {
+				best = h[u] + 1
+			}
+		}
+		h[i] = best
+	}
+	return h
+}
+
+func (s *scheduler) run() (*Result, error) {
+	g := s.g
+	// Count uses so registers can be freed after the last read.
+	for i := range s.vals {
+		s.vals[i].loc = RegLoc{-1, -1}
+	}
+	s.consumers = make([][]int32, len(g.Ops))
+	for i, op := range g.Ops {
+		for _, ref := range []program.ValueID{op.A, op.B} {
+			if ref != program.NoValue {
+				s.vals[ref].usesLeft++
+				s.consumers[ref] = append(s.consumers[ref], int32(i))
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		s.vals[o].usesLeft++ // outputs stay live forever
+		s.vals[o].isOutput = true
+	}
+	for i := range s.vals {
+		s.vals[i].spillSlot = -1
+	}
+
+	// Place inputs and constants.
+	for i, op := range g.Ops {
+		switch op.Op {
+		case program.Input:
+			loc, ok := s.allocReg(0)
+			if !ok {
+				return nil, fmt.Errorf("sched: not enough registers for program inputs")
+			}
+			s.vals[i].loc = loc
+			s.vals[i].readyAt = 0
+			s.vals[i].alloc = true
+			s.regAlloc[program.ValueID(i)] = loc
+			s.inputLoc[program.ValueID(i)] = loc
+		case program.Const:
+			s.vals[i].isConst = true
+			s.vals[i].constVal = op.Imm
+			s.vals[i].readyAt = 0
+		}
+		s.ops[i] = opState{id: program.ValueID(i), fu: -1, tTrig: -1, resLoc: RegLoc{-1, -1}}
+	}
+
+	// Pending FU operations in priority order.
+	var pendings []int
+	for i, op := range g.Ops {
+		switch op.Op.Class() {
+		case program.ClassALU, program.ClassCMP, program.ClassMem:
+			pendings = append(pendings, i)
+		default:
+			s.ops[i].done = true
+		}
+	}
+	if s.opts.Priority == CriticalPath {
+		sort.SliceStable(pendings, func(a, b int) bool { return s.height[pendings[a]] > s.height[pendings[b]] })
+	}
+
+	maxCycles := s.opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 40*len(g.Ops) + 2000
+	}
+
+	remaining := len(pendings)
+	var inflight []int
+	cycle := 0
+	for remaining > 0 {
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("sched: no convergence after %d cycles (%d ops left; register pressure?)",
+				cycle, remaining)
+		}
+		s.resetCycle()
+		s.movedNow = false
+		// Phase 0: advance spill stores (they free registers).
+		s.stepSpills(cycle, false)
+		// Phase 1: drain results of in-flight ops (frees FUs and feeds
+		// dependents), and trigger in-flight ops still awaiting their
+		// trigger move.
+		keep := inflight[:0]
+		for _, oi := range inflight {
+			st := &s.ops[oi]
+			if st.tTrig >= 0 {
+				s.tryFinish(oi, cycle)
+			} else {
+				s.tryTrigger(oi, cycle)
+			}
+			if st.done {
+				remaining--
+			} else {
+				keep = append(keep, oi)
+			}
+		}
+		inflight = keep
+		// Phase 2: start ready ops by priority (inflight ops were handled
+		// above; newly started ops join the in-flight set).
+		if s.busFree > 0 {
+			kept := pendings[:0]
+			for _, oi := range pendings {
+				st := &s.ops[oi]
+				if st.started {
+					continue // moved to inflight in an earlier cycle
+				}
+				if s.busFree > 0 {
+					s.tryStart(oi, cycle)
+				}
+				if st.started {
+					// Stores whose trigger landed in the same cycle may
+					// finish in a later phase-1 pass.
+					inflight = append(inflight, oi)
+				} else {
+					kept = append(kept, oi)
+				}
+			}
+			pendings = kept
+		}
+		// Phase 3: reloads run last so they never starve op starts.
+		s.stepSpills(cycle, true)
+		// Demand-driven spilling: a ready op was blocked purely by
+		// register capacity this cycle.
+		if s.wantSpill {
+			s.wantSpill = false
+			s.maybeSpill(cycle)
+		}
+		// Stall handling: when nothing moved, escalate to spilling; when
+		// even spilling cannot help, the architecture genuinely cannot run
+		// the program.
+		if s.movedNow {
+			s.stallStreak = 0
+		} else {
+			s.stallStreak++
+			if s.stallStreak >= 4 {
+				if !s.maybeSpill(cycle) && s.spillsIdle() && s.stallStreak > 8 {
+					return nil, fmt.Errorf("sched: starved at cycle %d (%d ops left, %d live registers, no spillable victim)",
+						cycle, remaining, s.live)
+				}
+			}
+		}
+		cycle++
+	}
+
+	res := &Result{
+		Arch:     s.arch,
+		Graph:    g,
+		Moves:    s.moves,
+		Timings:  s.timings,
+		FUOf:     s.fuOf,
+		RegAlloc: s.regAlloc,
+		InputLoc: s.inputLoc,
+		PeakLive: s.peakLive,
+		Spills:   s.spillCount,
+		Reloads:  s.reloadCount,
+	}
+	for _, m := range s.moves {
+		// Last bus cycle + the register-load cycle after it.
+		if m.Cycle+1 > res.Cycles {
+			res.Cycles = m.Cycle + 1
+		}
+	}
+	sort.SliceStable(res.Moves, func(a, b int) bool { return res.Moves[a].Cycle < res.Moves[b].Cycle })
+	return res, nil
+}
+
+func (s *scheduler) resetCycle() {
+	s.busFree = s.arch.Buses
+	s.rfReads = map[int]int{}
+	s.rfWrites = map[int]int{}
+	s.immUsed = map[int]int{}
+}

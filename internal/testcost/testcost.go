@@ -1,0 +1,312 @@
+// Package testcost implements the paper's analytical test cost model
+// (section 3): per-component functional test costs f_tfu (eq. 11) and
+// f_trf (eq. 12), the scan-based socket cost f_ts (eq. 13), and the
+// architecture total (eq. 14). Pattern counts n_p are back-annotated from
+// the gate-level component library — ATPG stuck-at patterns for function
+// units (internal/atpg) and march tests for the multi-port register files
+// (internal/march) — exactly mirroring the paper's flow, where components
+// are pre-designed to gate level and their pattern counts fed back into
+// the exploration.
+package testcost
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/atpg"
+	"repro/internal/gatelib"
+	"repro/internal/march"
+	"repro/internal/scan"
+	"repro/internal/tta"
+)
+
+// SocketIDBits is the move-destination ID field width used for the socket
+// decode logic of every generated socket.
+const SocketIDBits = 6
+
+// ComponentCost is one row of the paper's Table 1.
+type ComponentCost struct {
+	Name string
+	Kind tta.Kind
+
+	NP    int // stuck-at ATPG patterns (FUs) or march patterns (RFs)
+	CD    int // cycles per functionally applied pattern (eqs. 9-10)
+	NConn int
+	NL    int // scan-chain length: component + socket flip-flops
+
+	FTfu int // eq. (11), function units only
+	FTrf int // eq. (12), register files only
+	FTs  int // eq. (13), socket scan cost
+
+	FullScanCycles int // baseline: all patterns through the scan chain
+	FaultCoverage  float64
+
+	// Excluded marks components that appear once in every architecture
+	// (LD/ST, PC, Immediate) and therefore drop out of the comparison, as
+	// in the paper.
+	Excluded bool
+}
+
+// OurCycles is the component's total functional-approach test time:
+// component patterns at CD cycles each plus the socket scan (the paper's
+// "our approach" column, e.g. ALU 65 + 812 = 877).
+func (c *ComponentCost) OurCycles() int {
+	return c.FTfu + c.FTrf + c.FTs
+}
+
+// ArchCost aggregates the test cost of one architecture.
+type ArchCost struct {
+	Arch       *tta.Architecture
+	Components []ComponentCost
+	// Total is equation (14): sum of f_tfu, f_trf and f_ts over the
+	// architecture-dependent datapath components.
+	Total int
+	// FullScanTotal is the corresponding full-scan baseline over the same
+	// components.
+	FullScanTotal int
+}
+
+// annotation caches the architecture-independent properties of a library
+// component configuration.
+type annotation struct {
+	np       int
+	nl       int // component flip-flops (without sockets)
+	coverage float64
+	scanNP   int // patterns used by the full-scan baseline
+	area     float64
+	delay    float64
+}
+
+// Annotator back-annotates pattern counts from the gate-level library and
+// evaluates the cost model for candidate architectures. It is safe for
+// concurrent use.
+type Annotator struct {
+	Lib   *gatelib.Library
+	Width int
+	Seed  int64
+	March march.Test
+
+	mu    sync.Mutex
+	cache map[string]annotation
+
+	sockIn  annotation
+	sockOut annotation
+	sockNP  int
+	once    sync.Once
+	sockErr error
+}
+
+// NewAnnotator builds an annotator over a fresh component library.
+func NewAnnotator(width int, seed int64) *Annotator {
+	return &Annotator{
+		Lib:   gatelib.NewLibrary(),
+		Width: width,
+		Seed:  seed,
+		March: march.MarchCMinus,
+		cache: make(map[string]annotation),
+	}
+}
+
+func (a *Annotator) annotate(key string, gen func() (*gatelib.Component, error)) (annotation, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if an, ok := a.cache[key]; ok {
+		return an, nil
+	}
+	comp, err := gen()
+	if err != nil {
+		return annotation{}, err
+	}
+	res := atpg.Run(comp.Seq, atpg.Config{Seed: a.Seed})
+	an := annotation{
+		np:       res.NumPatterns(),
+		nl:       comp.SeqFFs(),
+		coverage: res.Coverage(),
+		scanNP:   res.NumPatterns(),
+		area:     comp.Seq.Area(),
+		delay:    comp.Seq.CriticalPath(),
+	}
+	a.cache[key] = an
+	return an, nil
+}
+
+// sockets lazily annotates the socket library elements.
+func (a *Annotator) sockets() error {
+	a.once.Do(func() {
+		in, err := a.Lib.InputSocket(SocketIDBits)
+		if err != nil {
+			a.sockErr = err
+			return
+		}
+		out, err := a.Lib.OutputSocket(SocketIDBits)
+		if err != nil {
+			a.sockErr = err
+			return
+		}
+		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed})
+		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed})
+		a.sockIn = annotation{np: resIn.NumPatterns(), nl: in.SeqFFs(), coverage: resIn.Coverage()}
+		a.sockOut = annotation{np: resOut.NumPatterns(), nl: out.SeqFFs(), coverage: resOut.Coverage()}
+		a.sockNP = resIn.NumPatterns()
+		if resOut.NumPatterns() > a.sockNP {
+			a.sockNP = resOut.NumPatterns()
+		}
+	})
+	return a.sockErr
+}
+
+// socketFFs returns the flip-flop count of the sockets attached to a
+// component (one input socket per input port, one output socket per
+// output port).
+func (a *Annotator) socketFFs(c *tta.Component) int {
+	return len(c.InputPorts())*a.sockIn.nl + len(c.OutputPorts())*a.sockOut.nl
+}
+
+func ceilDiv(x, y int) int {
+	if y <= 0 {
+		return x
+	}
+	return (x + y - 1) / y
+}
+
+// componentAnnotation fetches the library annotation for an architecture
+// component.
+func (a *Annotator) componentAnnotation(c *tta.Component) (annotation, error) {
+	switch c.Kind {
+	case tta.ALU:
+		return a.annotate(fmt.Sprintf("alu/%d/%s", a.Width, c.Adder), func() (*gatelib.Component, error) {
+			return a.Lib.ALU(gatelib.ALUConfig{Width: a.Width, Adder: c.Adder})
+		})
+	case tta.CMP:
+		return a.annotate(fmt.Sprintf("cmp/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.CMP(a.Width)
+		})
+	case tta.RF:
+		cfg := gatelib.RFConfig{Width: a.Width, NumRegs: c.NumRegs, NumIn: c.NumIn, NumOut: c.NumOut}
+		an, err := a.annotate("rf/"+cfg.String(), func() (*gatelib.Component, error) {
+			return a.Lib.RF(cfg)
+		})
+		if err != nil {
+			return annotation{}, err
+		}
+		// Functional register-file test uses march patterns, not the
+		// scan-view ATPG set (which only feeds the full-scan baseline).
+		an.np = march.MultiPortPatternCount(a.March, c.NumRegs, c.NumIn, c.NumOut)
+		return an, nil
+	case tta.LDST:
+		return a.annotate(fmt.Sprintf("ldst/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.LDST(a.Width)
+		})
+	case tta.PC:
+		return a.annotate(fmt.Sprintf("pc/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.PC(a.Width)
+		})
+	case tta.IMM:
+		return a.annotate(fmt.Sprintf("imm/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.IMM(a.Width)
+		})
+	default:
+		return annotation{}, fmt.Errorf("testcost: unknown component kind %v", c.Kind)
+	}
+}
+
+// Evaluate computes the full Table-1-style cost breakdown and the eq. (14)
+// total for an architecture. Ports must be assigned to buses.
+func (a *Annotator) Evaluate(arch *tta.Architecture) (*ArchCost, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if !arch.Assigned() {
+		return nil, fmt.Errorf("testcost: architecture %q has unassigned ports", arch.Name)
+	}
+	if err := a.sockets(); err != nil {
+		return nil, err
+	}
+	out := &ArchCost{Arch: arch}
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		an, err := a.componentAnnotation(c)
+		if err != nil {
+			return nil, err
+		}
+		cc := ComponentCost{
+			Name:          c.Name,
+			Kind:          c.Kind,
+			NP:            an.np,
+			CD:            c.CD(),
+			NConn:         c.NumConnectors(),
+			NL:            an.nl + a.socketFFs(c),
+			FaultCoverage: an.coverage,
+		}
+		cc.FullScanCycles = scan.TestCycles(an.scanNP, cc.NL)
+		switch c.Kind {
+		case tta.ALU, tta.CMP:
+			// Equation (11): n_p * CD * ceil(n_conn / n_b).
+			cc.FTfu = an.np * cc.CD * ceilDiv(cc.NConn, arch.Buses)
+			cc.FTs = a.sockNP * cc.NL
+		case tta.RF:
+			cc.FTrf = rfCost(an.np, cc.CD, c.NumIn, c.NumOut, arch.Buses)
+			cc.FTs = a.sockNP * cc.NL
+		default:
+			// LD/ST, PC and Immediate appear once in every candidate and
+			// cancel out of the comparison (paper, section 4).
+			cc.Excluded = true
+		}
+		out.Components = append(out.Components, cc)
+		if !cc.Excluded {
+			out.Total += cc.OurCycles()
+			out.FullScanTotal += cc.FullScanCycles
+		}
+	}
+	return out, nil
+}
+
+// rfCost is equation (12): march patterns stream through parallel ports
+// when the buses can feed them (parallelism min(n_in, n_out)); once both
+// port counts exceed the bus count the transports serialize and the cost
+// grows with max(n_in, n_out)/n_b.
+func rfCost(np, cd, nIn, nOut, buses int) int {
+	if nIn <= buses && nOut <= buses {
+		p := nIn
+		if nOut < p {
+			p = nOut
+		}
+		if p < 1 {
+			p = 1
+		}
+		return ceilDiv(np, p) * cd
+	}
+	m := nIn
+	if nOut > m {
+		m = nOut
+	}
+	return ceilDiv(np*m, buses) * cd
+}
+
+// AreaDelay exposes the library's area and critical-path annotation for a
+// component (used by the DSE's area/throughput axes).
+func (a *Annotator) AreaDelay(c *tta.Component) (area, delay float64, err error) {
+	an, err := a.componentAnnotation(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	return an.area, an.delay, nil
+}
+
+// SocketArea returns the cell area of one input plus one output socket —
+// multiplied by the port counts it models the interconnect/control
+// overhead growing with sockets and buses.
+func (a *Annotator) SocketArea() (in, out float64, err error) {
+	if err := a.sockets(); err != nil {
+		return 0, 0, err
+	}
+	ic, err := a.Lib.InputSocket(SocketIDBits)
+	if err != nil {
+		return 0, 0, err
+	}
+	oc, err := a.Lib.OutputSocket(SocketIDBits)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ic.Seq.Area(), oc.Seq.Area(), nil
+}

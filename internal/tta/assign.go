@@ -1,0 +1,111 @@
+package tta
+
+// Port-to-bus assignment strategies. The assignment decides the CD of
+// every component (eqs. 9-10) and, through n_conn/n_b contention, the test
+// cost — the paper's figure 6 shows two identical FUs whose costs differ
+// only because of how their ports connect to buses. The exploration
+// ablates round-robin against spread-first assignment.
+
+// AssignStrategy selects how ports are distributed over buses.
+type AssignStrategy uint8
+
+// Assignment strategies.
+const (
+	// RoundRobin walks all ports of all components and deals buses out
+	// cyclically — simple, but may co-locate one component's operand and
+	// trigger on the same bus.
+	RoundRobin AssignStrategy = iota
+	// SpreadFirst gives each component's ports distinct buses first
+	// (minimizing its CD), balancing total bus load as a tiebreak.
+	SpreadFirst
+	// Packed puts all ports of a component on one bus (minimal socket
+	// wiring, worst CD — the slow FU2 of the paper's figure 6). Same area
+	// and schedule as the other strategies, strictly worse test cost:
+	// the kind of point only a test-aware exploration can reject.
+	Packed
+)
+
+func (s AssignStrategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case SpreadFirst:
+		return "spread-first"
+	case Packed:
+		return "packed"
+	default:
+		return "unknown"
+	}
+}
+
+// AssignPorts assigns every port of the architecture to a bus in place.
+func AssignPorts(a *Architecture, strat AssignStrategy) {
+	switch strat {
+	case SpreadFirst:
+		assignSpreadFirst(a)
+	case Packed:
+		assignPacked(a)
+	default:
+		assignRoundRobin(a)
+	}
+}
+
+func assignPacked(a *Architecture) {
+	load := make([]int, a.Buses)
+	for ci := range a.Components {
+		c := &a.Components[ci]
+		best := 0
+		for b := 1; b < a.Buses; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		for pi := range c.Ports {
+			c.Ports[pi].Bus = best
+			load[best]++
+		}
+	}
+}
+
+func assignRoundRobin(a *Architecture) {
+	next := 0
+	for ci := range a.Components {
+		c := &a.Components[ci]
+		for pi := range c.Ports {
+			c.Ports[pi].Bus = next % a.Buses
+			next++
+		}
+	}
+}
+
+func assignSpreadFirst(a *Architecture) {
+	load := make([]int, a.Buses)
+	for ci := range a.Components {
+		c := &a.Components[ci]
+		used := make([]bool, a.Buses)
+		for pi := range c.Ports {
+			// Least-loaded bus not yet used by this component; fall back to
+			// least-loaded overall when the component has more ports than
+			// there are buses.
+			best := -1
+			for b := 0; b < a.Buses; b++ {
+				if used[b] {
+					continue
+				}
+				if best < 0 || load[b] < load[best] {
+					best = b
+				}
+			}
+			if best < 0 {
+				for b := 0; b < a.Buses; b++ {
+					if best < 0 || load[b] < load[best] {
+						best = b
+					}
+				}
+			}
+			c.Ports[pi].Bus = best
+			used[best] = true
+			load[best]++
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package tta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders the architecture as an ASCII diagram in the style of the
+// paper's figure 9: the MOVE buses as horizontal rails, each component as
+// a box whose port connections drop onto their assigned buses (O/T/R for
+// function units, W/Rd for register files).
+//
+//	ALU        CMP        RF1(8)
+//	O  T  R    O  T  R    W  Rd
+//	|  |  |    |  |  |    |  |
+//	●――│――●――――●――│――●――――●――│――  bus0
+//	――――●――――――――――●―――――――――●――  bus1
+func Draw(a *Architecture) string {
+	const colGap = 2
+	type portCol struct {
+		label string
+		bus   int
+	}
+	type compBlock struct {
+		name  string
+		ports []portCol
+	}
+	var blocks []compBlock
+	for ci := range a.Components {
+		c := &a.Components[ci]
+		b := compBlock{name: c.Name}
+		if c.Kind == RF {
+			b.name = fmt.Sprintf("%s(%d)", c.Name, c.NumRegs)
+		}
+		for _, p := range c.Ports {
+			b.ports = append(b.ports, portCol{label: p.Role.String(), bus: p.Bus})
+		}
+		blocks = append(blocks, b)
+	}
+
+	// Column layout: every port gets a column; blocks are separated.
+	type col struct {
+		x   int
+		bus int
+	}
+	var cols []col
+	nameRow := ""
+	portRow := ""
+	x := 0
+	for bi, b := range blocks {
+		start := x
+		for _, p := range b.ports {
+			for len(portRow) < x {
+				portRow += " "
+			}
+			portRow += p.label
+			cols = append(cols, col{x: x, bus: p.bus})
+			x += len(p.label) + colGap
+		}
+		width := x - start - colGap
+		if width < len(b.name) {
+			x = start + len(b.name) + colGap
+			width = len(b.name)
+		}
+		for len(nameRow) < start {
+			nameRow += " "
+		}
+		nameRow += b.name
+		if bi < len(blocks)-1 {
+			x += colGap
+		}
+	}
+	total := x
+
+	var sb strings.Builder
+	sb.WriteString(nameRow + "\n")
+	sb.WriteString(portRow + "\n")
+	// Vertical stubs.
+	stub := make([]byte, total)
+	for i := range stub {
+		stub[i] = ' '
+	}
+	for _, c := range cols {
+		stub[c.x] = '|'
+	}
+	sb.WriteString(string(stub) + "\n")
+	// One rail per bus; a port taps its own bus with 'o' and crosses the
+	// rails above it with '|'.
+	for bus := 0; bus < a.Buses; bus++ {
+		rail := make([]byte, total)
+		for i := range rail {
+			rail[i] = '-'
+		}
+		for _, c := range cols {
+			switch {
+			case c.bus == bus:
+				rail[c.x] = 'o'
+			case c.bus > bus:
+				rail[c.x] = '|'
+			}
+		}
+		fmt.Fprintf(&sb, "%s  bus%d\n", string(rail), bus)
+	}
+	return sb.String()
+}

@@ -1,0 +1,31 @@
+package tta_test
+
+import (
+	"fmt"
+
+	"repro/internal/tta"
+)
+
+// ExampleComponent_CD reproduces equations (9) and (10): the minimum
+// bus-to-bus cycle distance as a function of the port-to-bus assignment.
+func ExampleComponent_CD() {
+	fu := tta.NewFU(tta.ALU, "ALU")
+	fu.Ports[0].Bus = 0 // operand
+	fu.Ports[1].Bus = 1 // trigger
+	fu.Ports[2].Bus = 2 // result
+	fmt.Println("distinct buses (eq. 9): CD =", fu.CD())
+
+	fu.Ports[1].Bus = 0 // operand and trigger share a bus
+	fmt.Println("shared O/T bus (eq. 10): CD =", fu.CD())
+	// Output:
+	// distinct buses (eq. 9): CD = 3
+	// shared O/T bus (eq. 10): CD = 4
+}
+
+// ExampleFigure9 prints the paper's selected architecture.
+func ExampleFigure9() {
+	a := tta.Figure9()
+	fmt.Println(a.Width, "bit,", a.Buses, "buses,", len(a.Components), "components,", a.NumSockets(), "sockets")
+	// Output:
+	// 16 bit, 2 buses, 7 components, 16 sockets
+}

@@ -1,0 +1,106 @@
+package tta
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON persistence for architectures, so explored or selected designs can
+// be saved, shared and reloaded by the command-line tools. The on-disk
+// shape is a stable, human-editable view independent of internal enum
+// values.
+
+type jsonPort struct {
+	Role string `json:"role"`
+	Bus  int    `json:"bus"`
+}
+
+type jsonComponent struct {
+	Kind    string     `json:"kind"`
+	Name    string     `json:"name"`
+	Ports   []jsonPort `json:"ports"`
+	NumRegs int        `json:"numRegs,omitempty"`
+	NumIn   int        `json:"numIn,omitempty"`
+	NumOut  int        `json:"numOut,omitempty"`
+	Adder   string     `json:"adder,omitempty"`
+}
+
+type jsonArch struct {
+	Name       string          `json:"name"`
+	Width      int             `json:"width"`
+	Buses      int             `json:"buses"`
+	Components []jsonComponent `json:"components"`
+}
+
+var kindByName = map[string]Kind{
+	"ALU": ALU, "CMP": CMP, "RF": RF, "LD/ST": LDST, "PC": PC, "IMM": IMM,
+	// Accept the display name of the immediate unit too.
+	"Immediate": IMM,
+}
+
+var roleByName = map[string]PortRole{
+	"O": Operand, "T": Trigger, "R": Result, "W": WritePort, "Rd": ReadPort,
+}
+
+// SaveJSON writes the architecture in its portable JSON form.
+func SaveJSON(w io.Writer, a *Architecture) error {
+	ja := jsonArch{Name: a.Name, Width: a.Width, Buses: a.Buses}
+	for ci := range a.Components {
+		c := &a.Components[ci]
+		jc := jsonComponent{
+			Kind:    c.Kind.String(),
+			Name:    c.Name,
+			NumRegs: c.NumRegs,
+			NumIn:   c.NumIn,
+			NumOut:  c.NumOut,
+		}
+		if c.Kind == ALU {
+			jc.Adder = c.Adder.String()
+		}
+		for _, p := range c.Ports {
+			jc.Ports = append(jc.Ports, jsonPort{Role: p.Role.String(), Bus: p.Bus})
+		}
+		ja.Components = append(ja.Components, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ja)
+}
+
+// LoadJSON reads an architecture from its JSON form and validates it.
+func LoadJSON(r io.Reader) (*Architecture, error) {
+	var ja jsonArch
+	if err := json.NewDecoder(r).Decode(&ja); err != nil {
+		return nil, fmt.Errorf("tta: decode architecture: %w", err)
+	}
+	a := &Architecture{Name: ja.Name, Width: ja.Width, Buses: ja.Buses}
+	for _, jc := range ja.Components {
+		kind, ok := kindByName[jc.Kind]
+		if !ok {
+			return nil, fmt.Errorf("tta: unknown component kind %q", jc.Kind)
+		}
+		c := Component{
+			Kind:    kind,
+			Name:    jc.Name,
+			NumRegs: jc.NumRegs,
+			NumIn:   jc.NumIn,
+			NumOut:  jc.NumOut,
+		}
+		if jc.Adder == "carry-select" {
+			c.Adder = 1 // gatelib.AdderCarrySelect
+		}
+		for _, jp := range jc.Ports {
+			role, ok := roleByName[jp.Role]
+			if !ok {
+				return nil, fmt.Errorf("tta: unknown port role %q", jp.Role)
+			}
+			c.Ports = append(c.Ports, Port{Role: role, Bus: jp.Bus})
+		}
+		a.Components = append(a.Components, c)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

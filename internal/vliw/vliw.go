@@ -1,0 +1,211 @@
+// Package vliw implements the paper's section 3.2 extension: applying the
+// functional-test-cost approach to general bus-oriented VLIW ASIP
+// templates (figure 7). Unlike the TTA, where every component connects
+// directly to a MOVE bus, a VLIW datapath may attach components to the bus
+// only *through* other components — the figure's register file whose
+// output reaches the bus through one or more execution units. Then "the
+// order of testing the components becomes relevant and also a different
+// set-up of the control signals has to take place": a component can only
+// be tested functionally once every component on its bus-access paths is
+// itself tested (and configured transparent), and each hop adds a transport
+// cycle per pattern.
+package vliw
+
+import (
+	"fmt"
+)
+
+// Component is one datapath element of a VLIW template.
+type Component struct {
+	Name string
+	// NP is the stuck-at pattern count (back-annotated, as for the TTA).
+	NP int
+	// PathIn lists the component indices a test stimulus must traverse
+	// from the bus to this component's inputs (empty = direct bus access).
+	PathIn []int
+	// PathOut lists the component indices the response traverses back to
+	// the bus (empty = direct).
+	PathOut []int
+}
+
+// Deps returns the set of components that must be tested (and set up
+// transparent) before this one.
+func (c *Component) Deps() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range [][]int{c.PathIn, c.PathOut} {
+		for _, d := range p {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Template is a bus-oriented VLIW datapath.
+type Template struct {
+	Name       string
+	Components []Component
+}
+
+// Validate checks path references.
+func (t *Template) Validate() error {
+	for ci := range t.Components {
+		c := &t.Components[ci]
+		if c.NP <= 0 {
+			return fmt.Errorf("vliw: component %q has no patterns", c.Name)
+		}
+		for _, d := range c.Deps() {
+			if d < 0 || d >= len(t.Components) {
+				return fmt.Errorf("vliw: component %q references invalid component %d", c.Name, d)
+			}
+			if d == ci {
+				return fmt.Errorf("vliw: component %q depends on itself", c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Figure7 builds the paper's figure-7 template: n execution units directly
+// on the bus, a register file whose write side is direct (from the
+// instruction/bus) but whose read side reaches the bus only through the
+// execution units, and a data cache reached through EU 0.
+func Figure7(nEU int, npEU, npRF, npCache int) *Template {
+	t := &Template{Name: fmt.Sprintf("vliw_%deu", nEU)}
+	for i := 0; i < nEU; i++ {
+		t.Components = append(t.Components, Component{
+			Name: fmt.Sprintf("EU%d", i+1),
+			NP:   npEU,
+		})
+	}
+	// The register file's responses travel through EU1 (index 0).
+	t.Components = append(t.Components, Component{
+		Name:    "RF",
+		NP:      npRF,
+		PathOut: []int{0},
+	})
+	// The data cache is loaded and observed through EU1 as well.
+	t.Components = append(t.Components, Component{
+		Name:    "DCache",
+		NP:      npCache,
+		PathIn:  []int{0},
+		PathOut: []int{0},
+	})
+	return t
+}
+
+// BaseCD is the direct-access cycles per pattern (the TTA's minimum of
+// equation (9)); every indirect hop adds one transparent-transport cycle.
+const BaseCD = 3
+
+// patternCost is the cycles per pattern for a component given its paths.
+func patternCost(c *Component) int {
+	return BaseCD + len(c.PathIn) + len(c.PathOut)
+}
+
+// Order computes a dependency-respecting test order (Kahn's algorithm,
+// stable by index). An error reports a dependency cycle — a datapath whose
+// components cannot be functionally tested at all.
+func (t *Template) Order() ([]int, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(t.Components)
+	indeg := make([]int, n)
+	users := make([][]int, n)
+	for ci := range t.Components {
+		for _, d := range t.Components[ci].Deps() {
+			indeg[ci]++
+			users[d] = append(users[d], ci)
+		}
+	}
+	var order []int
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		c := ready[0]
+		ready = ready[1:]
+		order = append(order, c)
+		for _, u := range users[c] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("vliw: %q has a dependency cycle; functional test impossible", t.Name)
+	}
+	return order, nil
+}
+
+// Cost evaluates the test time of applying the components' patterns in the
+// given order. Patterns applied through a not-yet-tested hop must be
+// re-applied after that hop passes its own test (a fault in the hop and a
+// fault in the target are otherwise indistinguishable), so violating the
+// dependency order costs one full re-application per untested hop.
+func (t *Template) Cost(order []int) (int, error) {
+	if len(order) != len(t.Components) {
+		return 0, fmt.Errorf("vliw: order covers %d of %d components", len(order), len(t.Components))
+	}
+	seen := make([]bool, len(t.Components))
+	tested := make([]bool, len(t.Components))
+	total := 0
+	for _, ci := range order {
+		if ci < 0 || ci >= len(t.Components) {
+			return 0, fmt.Errorf("vliw: invalid order entry %d", ci)
+		}
+		if seen[ci] {
+			return 0, fmt.Errorf("vliw: component %d appears twice in the order", ci)
+		}
+		seen[ci] = true
+		c := &t.Components[ci]
+		cost := c.NP * patternCost(c)
+		for _, d := range c.Deps() {
+			if !tested[d] {
+				cost += c.NP * patternCost(c) // re-application after the hop is tested
+			}
+		}
+		total += cost
+		tested[ci] = true
+	}
+	return total, nil
+}
+
+// OptimalCost is the cost of the dependency-respecting order.
+func (t *Template) OptimalCost() (int, []int, error) {
+	order, err := t.Order()
+	if err != nil {
+		return 0, nil, err
+	}
+	cost, err := t.Cost(order)
+	if err != nil {
+		return 0, nil, err
+	}
+	return cost, order, nil
+}
+
+// WorstCost evaluates the reverse of the dependency order — the
+// upper bound a naive schedule can reach through re-applications.
+func (t *Template) WorstCost() (int, []int, error) {
+	order, err := t.Order()
+	if err != nil {
+		return 0, nil, err
+	}
+	rev := make([]int, len(order))
+	for i, c := range order {
+		rev[len(order)-1-i] = c
+	}
+	cost, err := t.Cost(rev)
+	if err != nil {
+		return 0, nil, err
+	}
+	return cost, rev, nil
+}

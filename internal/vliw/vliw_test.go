@@ -1,0 +1,130 @@
+package vliw
+
+import "testing"
+
+func TestFigure7Shape(t *testing.T) {
+	tm := Figure7(3, 90, 80, 60)
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.Components) != 5 {
+		t.Fatalf("%d components, want 3 EUs + RF + DCache", len(tm.Components))
+	}
+	rf := tm.Components[3]
+	if rf.Name != "RF" || len(rf.PathOut) != 1 {
+		t.Fatalf("RF not routed through an EU: %+v", rf)
+	}
+}
+
+func TestOrderRespectsDependencies(t *testing.T) {
+	tm := Figure7(2, 90, 80, 60)
+	order, err := tm.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int]int{}
+	for i, c := range order {
+		pos[c] = i
+	}
+	for ci := range tm.Components {
+		for _, d := range tm.Components[ci].Deps() {
+			if pos[d] >= pos[ci] {
+				t.Fatalf("dependency %d tested at %d, after dependent %d at %d",
+					d, pos[d], ci, pos[ci])
+			}
+		}
+	}
+}
+
+func TestDependencyAwareOrderCheaper(t *testing.T) {
+	// The paper's point: with indirectly connected components the test
+	// order matters. A dependency-violating order pays re-applications.
+	tm := Figure7(2, 90, 80, 60)
+	opt, optOrder, err := tm.OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, worstOrder, err := tm.WorstCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst <= opt {
+		t.Fatalf("naive order (%v) cost %d not above dependency order (%v) cost %d",
+			worstOrder, worst, optOrder, opt)
+	}
+}
+
+func TestIndirectAccessCostsMoreCycles(t *testing.T) {
+	// A directly attached component tests at BaseCD cycles per pattern; a
+	// component one hop away pays one more per direction.
+	direct := Component{Name: "d", NP: 10}
+	oneHop := Component{Name: "h", NP: 10, PathIn: []int{0}, PathOut: []int{0}}
+	if patternCost(&direct) != BaseCD {
+		t.Fatalf("direct cost %d, want %d", patternCost(&direct), BaseCD)
+	}
+	if patternCost(&oneHop) != BaseCD+2 {
+		t.Fatalf("one-hop cost %d, want %d", patternCost(&oneHop), BaseCD+2)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	tm := &Template{
+		Name: "cyclic",
+		Components: []Component{
+			{Name: "A", NP: 5, PathIn: []int{1}},
+			{Name: "B", NP: 5, PathIn: []int{0}},
+		},
+	}
+	if _, err := tm.Order(); err == nil {
+		t.Fatal("dependency cycle not detected")
+	}
+}
+
+func TestValidateRejectsBadTemplates(t *testing.T) {
+	bad := &Template{Components: []Component{{Name: "x", NP: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-pattern component accepted")
+	}
+	self := &Template{Components: []Component{{Name: "x", NP: 1, PathIn: []int{0}}}}
+	if err := self.Validate(); err == nil {
+		t.Error("self-dependency accepted")
+	}
+	oob := &Template{Components: []Component{{Name: "x", NP: 1, PathIn: []int{7}}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range path accepted")
+	}
+}
+
+func TestCostRejectsMalformedOrders(t *testing.T) {
+	tm := Figure7(2, 90, 80, 60)
+	if _, err := tm.Cost([]int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := tm.Cost([]int{0, 0, 1, 2, 3}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := tm.Cost([]int{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}
+
+func TestMoreUnitsMoreCost(t *testing.T) {
+	small, _, err := Figure7(2, 90, 80, 60).OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := Figure7(4, 90, 80, 60).OptimalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("4-EU cost %d not above 2-EU cost %d", big, small)
+	}
+}
+
+func TestDepsDeduplicated(t *testing.T) {
+	c := Component{Name: "x", NP: 1, PathIn: []int{0, 1}, PathOut: []int{1, 0}}
+	if got := len(c.Deps()); got != 2 {
+		t.Fatalf("deps %d, want 2 (deduplicated)", got)
+	}
+}

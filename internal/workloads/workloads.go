@@ -1,0 +1,224 @@
+// Package workloads provides additional application kernels beyond Crypt,
+// lowered to the operation IR. Different operation mixes (bit-serial CRC,
+// comparison-heavy reductions, memory-streaming checksums) pull the
+// application-specific exploration toward different architectures — the
+// "AS" in ASIP. Every kernel comes with a plain-Go reference
+// implementation it is validated against.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// CRC16Poly is the reflected CRC-16/IBM polynomial.
+const CRC16Poly = 0xA001
+
+// CRC16 builds a bit-serial CRC-16 kernel over n data words held in
+// memory at addresses base..base+n-1 (low byte of each word). The
+// conditional XOR of the polynomial is branch-free: mask = 0 - (crc & 1).
+// ALU-heavy with a long serial dependence chain.
+func CRC16(n int, base uint64) (*program.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workloads: CRC16 over %d words", n)
+	}
+	g := program.NewGraph(fmt.Sprintf("crc16_x%d", n), 16)
+	crc := g.In() // initial CRC value
+	zero := g.ConstV(0)
+	one := g.ConstV(1)
+	poly := g.ConstV(CRC16Poly)
+	ff := g.ConstV(0xFF)
+	for i := 0; i < n; i++ {
+		data := g.And(g.Load(g.ConstV(base+uint64(i))), ff)
+		crc = g.Xor(crc, data)
+		for bit := 0; bit < 8; bit++ {
+			lsb := g.And(crc, one)
+			mask := g.Sub(zero, lsb) // 0x0000 or 0xFFFF
+			crc = g.Xor(g.Srl(crc, one), g.And(poly, mask))
+		}
+	}
+	g.Output(crc)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CRC16Golden computes the same CRC in plain Go.
+func CRC16Golden(init uint16, data []byte) uint16 {
+	crc := init
+	for _, b := range data {
+		crc ^= uint16(b)
+		for bit := 0; bit < 8; bit++ {
+			if crc&1 == 1 {
+				crc = crc>>1 ^ CRC16Poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// VecMax builds a balanced-tree unsigned maximum over n memory words at
+// base..base+n-1. Branch-free select via a comparison-derived mask:
+// CMP-heavy with log-depth parallelism (a second comparator pays off).
+func VecMax(n int, base uint64) (*program.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: VecMax over %d words", n)
+	}
+	g := program.NewGraph(fmt.Sprintf("vecmax_x%d", n), 16)
+	zero := g.ConstV(0)
+	vals := make([]program.ValueID, n)
+	for i := range vals {
+		vals[i] = g.Load(g.ConstV(base + uint64(i)))
+	}
+	for len(vals) > 1 {
+		var next []program.ValueID
+		for i := 0; i+1 < len(vals); i += 2 {
+			a, b := vals[i], vals[i+1]
+			sel := g.Ltu(a, b)       // 1 when b is larger
+			mask := g.Sub(zero, sel) // 0x0000 / 0xFFFF
+			keepA := g.And(a, g.Xor(mask, g.ConstV(0xFFFF)))
+			keepB := g.And(b, mask)
+			next = append(next, g.Or(keepA, keepB))
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+	g.Output(vals[0])
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// VecMaxReg builds the balanced-tree maximum over n register-resident
+// inputs (no memory traffic): the comparison tree itself becomes the
+// bottleneck, exposing comparator-count sensitivity.
+func VecMaxReg(n int) (*program.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: VecMaxReg over %d values", n)
+	}
+	g := program.NewGraph(fmt.Sprintf("vecmaxreg_x%d", n), 16)
+	zero := g.ConstV(0)
+	allOnes := g.ConstV(0xFFFF)
+	vals := make([]program.ValueID, n)
+	for i := range vals {
+		vals[i] = g.In()
+	}
+	for len(vals) > 1 {
+		var next []program.ValueID
+		for i := 0; i+1 < len(vals); i += 2 {
+			a, b := vals[i], vals[i+1]
+			sel := g.Ltu(a, b)
+			mask := g.Sub(zero, sel)
+			next = append(next, g.Or(g.And(a, g.Xor(mask, allOnes)), g.And(b, mask)))
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+	g.Output(vals[0])
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CountBelow builds a classification kernel: how many of n
+// register-resident values are below a threshold. All n comparisons are
+// independent, so comparator bandwidth directly bounds the schedule.
+func CountBelow(n int) (*program.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: CountBelow over %d values", n)
+	}
+	g := program.NewGraph(fmt.Sprintf("countbelow_x%d", n), 16)
+	thr := g.In()
+	flags := make([]program.ValueID, n)
+	for i := range flags {
+		flags[i] = g.Ltu(g.In(), thr)
+	}
+	for len(flags) > 1 {
+		var next []program.ValueID
+		for i := 0; i+1 < len(flags); i += 2 {
+			next = append(next, g.Add(flags[i], flags[i+1]))
+		}
+		if len(flags)%2 == 1 {
+			next = append(next, flags[len(flags)-1])
+		}
+		flags = next
+	}
+	g.Output(flags[0])
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CountBelowGolden counts values strictly below the threshold.
+func CountBelowGolden(thr uint16, data []uint16) uint16 {
+	var n uint16
+	for _, v := range data {
+		if v < thr {
+			n++
+		}
+	}
+	return n
+}
+
+// VecMaxGolden computes the unsigned maximum in plain Go.
+func VecMaxGolden(data []uint16) uint16 {
+	var m uint16
+	for _, v := range data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Checksum builds a Fletcher-style streaming checksum over n memory words:
+// two running sums, memory-bound with modest ALU work per load.
+func Checksum(n int, base uint64) (*program.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workloads: Checksum over %d words", n)
+	}
+	g := program.NewGraph(fmt.Sprintf("checksum_x%d", n), 16)
+	s1 := g.ConstV(0)
+	s2 := g.ConstV(0)
+	for i := 0; i < n; i++ {
+		v := g.Load(g.ConstV(base + uint64(i)))
+		s1 = g.Add(s1, v)
+		s2 = g.Add(s2, s1)
+	}
+	g.Output(s1)
+	g.Output(s2)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ChecksumGolden computes the two running sums in plain Go (mod 2^16).
+func ChecksumGolden(data []uint16) (uint16, uint16) {
+	var s1, s2 uint16
+	for _, v := range data {
+		s1 += v
+		s2 += s1
+	}
+	return s1, s2
+}
+
+// MemoryFor places data words at base..base+len-1.
+func MemoryFor(base uint64, data []uint16) program.Memory {
+	mem := program.Memory{}
+	for i, v := range data {
+		mem[base+uint64(i)] = uint64(v)
+	}
+	return mem
+}
