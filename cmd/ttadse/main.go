@@ -3,14 +3,24 @@
 //
 // Usage:
 //
-//	ttadse [-fig 2|8] [-table1] [-csv] [-buses 1,2,3,4] [-norm euclid|manhattan|chebyshev]
-//	       [-wa A] [-wt T] [-wc C]
+//	ttadse [-fig 2|8] [-table1] [-csv] [-buses 1,2,3,4] [-alus 1,2,3] [-cmps 1,2]
+//	       [-norm euclid|manhattan|chebyshev] [-wa A] [-wt T] [-wc C]
+//	       [-metrics file|-] [-progress] [-timeout 30s]
 //
 // Without flags the complete study (both figures, the selection and
 // Table 1) is printed.
+//
+// Observability: -metrics dumps the run's full metrics snapshot (span
+// durations per stage, scheduler/ATPG counters, annotator cache hit rate,
+// worker utilization) as JSON to the given file, or to stdout with "-"
+// (which then replaces the default report so the output stays valid
+// JSON). -progress streams per-candidate completion events to stderr.
+// -timeout bounds the exploration; on expiry the run is cancelled and the
+// context error reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dse"
-	"repro/internal/pareto"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/tta"
 	"repro/internal/workloads"
@@ -33,42 +43,87 @@ func main() {
 	table1 := flag.Bool("table1", false, "print only Table 1 for the selected architecture")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
 	busesFlag := flag.String("buses", "", "comma-separated bus counts to explore (default 1,2,3,4)")
+	alusFlag := flag.String("alus", "", "comma-separated ALU counts to explore (default 1,2,3)")
+	cmpsFlag := flag.String("cmps", "", "comma-separated comparator counts to explore (default 1,2)")
 	normFlag := flag.String("norm", "euclid", "selection norm: euclid, manhattan or chebyshev")
 	wa := flag.Float64("wa", 1, "area weight for the selection norm")
 	wt := flag.Float64("wt", 1, "execution-time weight")
 	wc := flag.Float64("wc", 1, "test-cost weight")
 	save := flag.String("save", "", "write the selected architecture as JSON to this file")
 	workload := flag.String("workload", "crypt", "application kernel: crypt, crc16, vecmax, countbelow or checksum")
+	metrics := flag.String("metrics", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
+	progress := flag.Bool("progress", false, "stream candidate-completion events to stderr")
+	timeout := flag.Duration("timeout", 0, "cancel the exploration after this duration (0 = none)")
 	flag.Parse()
 
 	cfg, err := dse.DefaultConfig()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *busesFlag != "" {
-		cfg.Buses = nil
-		for _, s := range strings.Split(*busesFlag, ",") {
-			b, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || b < 1 {
-				log.Fatalf("invalid bus count %q", s)
-			}
-			cfg.Buses = append(cfg.Buses, b)
+	for _, lf := range []struct {
+		name string
+		raw  string
+		dst  *[]int
+	}{
+		{"buses", *busesFlag, &cfg.Buses},
+		{"alus", *alusFlag, &cfg.ALUCounts},
+		{"cmps", *cmpsFlag, &cfg.CMPCounts},
+	} {
+		if lf.raw == "" {
+			continue
 		}
+		vals, err := parseIntList(lf.name, lf.raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*lf.dst = vals
 	}
 	if err := setWorkload(&cfg, *workload); err != nil {
 		log.Fatal(err)
 	}
+
+	var reg *obs.Registry
+	if *metrics != "" || *progress {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
+	if *metrics != "" {
+		// The snapshot should cover every stage, including the final
+		// simulator cross-check of the selection.
+		cfg.VerifySelected = true
+	}
+	if *progress {
+		reg.Subscribe(func(ev obs.Event) {
+			fmt.Fprintf(os.Stderr, "ttadse: [%d/%d] %s\n", ev.N, ev.Total, ev.Msg)
+		})
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	study := core.NewStudyWithConfig(cfg)
-	if err := study.Explore(); err != nil {
+	if err := study.ExploreContext(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// Optional re-selection under custom weights/norm.
+	spec := dse.SelectionSpec{Norm: *normFlag, WA: *wa, WT: *wt, WC: *wc}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	if *normFlag != "euclid" || *wa != 1 || *wt != 1 || *wc != 1 {
-		if err := reselect(study, *normFlag, *wa, *wt, *wc); err != nil {
+		if err := study.Reselect(spec); err != nil {
 			log.Fatal(err)
 		}
 	}
+
+	// With -metrics to stdout the JSON snapshot replaces the default
+	// report (explicit -fig/-table1 requests still print).
+	printDefault := !(*metrics == "-") || *fig != 0 || *table1
 
 	switch {
 	case *fig == 2:
@@ -83,7 +138,7 @@ func main() {
 		}
 	case *table1:
 		printTable(study, *csv, study.Table1)
-	default:
+	case printDefault:
 		printTable(study, *csv, study.Figure2Table)
 		if !*csv {
 			mustPrint(study.Figure2Plot())
@@ -111,6 +166,40 @@ func main() {
 		}
 		fmt.Printf("saved selected architecture to %s\n", *save)
 	}
+	if *metrics != "" {
+		if err := writeMetrics(reg, *metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parseIntList parses a comma-separated list of positive ints for the
+// named flag, reporting the offending token on error.
+func parseIntList(name, raw string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(raw, ",") {
+		s := strings.TrimSpace(tok)
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("flag -%s: invalid count %q (want a positive integer list like 1,2,3)", name, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// writeMetrics emits the registry snapshot as JSON to path ("-" = stdout).
+func writeMetrics(reg *obs.Registry, path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.JSONSink{W: w}.Emit(reg.Snapshot())
 }
 
 // setWorkload swaps the explored application kernel.
@@ -149,30 +238,6 @@ func setWorkload(cfg *dse.Config, name string) error {
 	default:
 		return fmt.Errorf("unknown workload %q", name)
 	}
-	return nil
-}
-
-func reselect(study *core.Study, norm string, wa, wt, wc float64) error {
-	var n pareto.Norm
-	switch norm {
-	case "euclid":
-		n = pareto.Euclid
-	case "manhattan":
-		n = pareto.Manhattan
-	case "chebyshev":
-		n = pareto.Chebyshev
-	default:
-		return fmt.Errorf("unknown norm %q", norm)
-	}
-	var pts []pareto.Point
-	for _, i := range study.Result.Front3D {
-		pts = append(pts, pareto.Point{ID: i, Coords: study.Result.Candidates[i].Coords()})
-	}
-	best, err := pareto.Select(pts, []float64{wa, wt, wc}, n)
-	if err != nil {
-		return err
-	}
-	study.Result.Selected = pts[best].ID
 	return nil
 }
 

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("buses", "1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseIntList = %v", got)
+	}
+	for _, raw := range []string{"", "1,x", "0", "1,,2", "-3"} {
+		_, err := parseIntList("alus", raw)
+		if err == nil {
+			t.Fatalf("parseIntList(%q) accepted invalid input", raw)
+		}
+		if !strings.Contains(err.Error(), "-alus") {
+			t.Fatalf("error %q does not name the flag", err)
+		}
+	}
+	// The offending token is reported.
+	_, err = parseIntList("buses", "1,2,bogus")
+	if err == nil || !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("error %v does not report the offending token", err)
+	}
+}

@@ -1,12 +1,14 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Config controls the ATPG driver. The zero value selects sensible
@@ -36,6 +38,10 @@ type Config struct {
 	// identical at any setting: faults are partitioned disjointly and the
 	// per-fault decisions are independent.
 	Workers int
+	// Obs, when non-nil, receives ATPG metrics: PODEM decisions and
+	// backtracks, fault-simulation blocks, pattern and fault counts
+	// (counters "atpg.*"). A nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +108,14 @@ func (r *Result) String() string {
 // a seeded random-pattern phase with fault dropping, deterministic PODEM
 // top-up for the remaining faults, and reverse-order static compaction.
 func Run(n *netlist.Netlist, cfg Config) *Result {
+	res, _ := RunContext(context.Background(), n, cfg)
+	return res
+}
+
+// RunContext is Run with cancellation: the random-pattern and PODEM
+// phases poll ctx (per block / per fault) and return (nil, ctx.Err())
+// when it is done. With a background context the error is always nil.
+func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	u := NewUniverse(n)
@@ -112,15 +126,39 @@ func Run(n *netlist.Netlist, cfg Config) *Result {
 	var patterns []Pattern
 
 	if cfg.MaxRandomPatterns > 0 {
-		patterns = randomPhase(sim, u, cfg, rng, detected, res)
+		patterns = randomPhase(ctx, sim, u, cfg, rng, detected, res)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
+	var eng *podem
+	defer func() {
+		if r := cfg.Obs; r != nil {
+			r.Counter("atpg.runs").Inc()
+			r.Counter("atpg.faults.total").Add(int64(res.TotalFaults))
+			r.Counter("atpg.faults.detected").Add(int64(res.Detected))
+			r.Counter("atpg.faults.redundant").Add(int64(res.Redundant))
+			r.Counter("atpg.faults.aborted").Add(int64(res.Aborted))
+			r.Counter("atpg.patterns.random").Add(int64(res.RandomDetected))
+			r.Counter("atpg.patterns.podem").Add(int64(res.PodemPatterns))
+			r.Counter("atpg.patterns.final").Add(int64(len(res.Patterns)))
+			if eng != nil {
+				r.Counter("atpg.podem.decisions").Add(eng.totalDecisions)
+				r.Counter("atpg.podem.backtracks").Add(eng.totalBacktracks)
+			}
+		}
+	}()
+
 	if !cfg.SkipPODEM {
-		eng := newPodem(sim, cfg.BacktrackLimit)
+		eng = newPodem(sim, cfg.BacktrackLimit)
 		if cfg.SCOAPGuidance {
 			eng.scoap = ComputeScoap(n)
 		}
 		for fi := range u.Faults {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if detected[fi] {
 				continue
 			}
@@ -154,10 +192,10 @@ func Run(n *netlist.Netlist, cfg Config) *Result {
 
 	if cfg.SkipCompaction {
 		res.Patterns = patterns
-		return res
+		return res, nil
 	}
 	res.Patterns = compactReverse(sim, u, patterns, detected, cfg.Workers)
-	return res
+	return res, nil
 }
 
 // simPool owns one Simulator per worker for parallel serial-fault
@@ -216,13 +254,17 @@ func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(sim *Simulator,
 
 // randomPhase applies seeded random blocks with fault dropping and returns
 // the patterns that were first detectors of at least one fault.
-func randomPhase(sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result) []Pattern {
+func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result) []Pattern {
 	pool := newSimPool(sim.n, cfg.Workers)
 	var kept []Pattern
 	dry := 0
 	total := 0
 	laneOf := make([]int8, len(u.Faults))
 	for total < cfg.MaxRandomPatterns && dry < cfg.RandomDryBlocks {
+		if ctx.Err() != nil {
+			return kept
+		}
+		cfg.Obs.Counter("atpg.faultsim.blocks").Inc()
 		block := make([]Pattern, 64)
 		for k := range block {
 			p := make(Pattern, sim.NumControls())

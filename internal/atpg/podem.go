@@ -26,6 +26,10 @@ type podem struct {
 	ctrlOf     []int32
 	limit      int
 	backtracks int
+	// Engine-lifetime totals across every generate call, reported to the
+	// observability registry by the ATPG driver.
+	totalDecisions  int64
+	totalBacktracks int64
 	// scoap, when non-nil, guides input choices toward the cheapest
 	// controllability (the classic SCOAP-guided backtrace ablation).
 	scoap *Scoap
@@ -131,6 +135,7 @@ func (p *podem) generate(f Fault) ([]v3, podemOutcome) {
 			if ci, v, ok2 := p.backtrace(objNet, objVal); ok2 {
 				p.assign[ci] = v
 				stack = append(stack, decision{ctrl: ci, value: v})
+				p.totalDecisions++
 				continue
 			}
 		}
@@ -152,6 +157,7 @@ func (p *podem) generate(f Fault) ([]v3, podemOutcome) {
 			return nil, podemRedundant
 		}
 		p.backtracks++
+		p.totalBacktracks++
 		if p.backtracks > p.limit {
 			return nil, podemAborted
 		}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,8 +47,17 @@ func NewStudyWithConfig(cfg dse.Config) *Study {
 	return &Study{Config: cfg}
 }
 
-// Explore runs the design space exploration (idempotent).
+// Explore runs the design space exploration (idempotent). It is a thin
+// wrapper over ExploreContext with a background context.
 func (s *Study) Explore() error {
+	return s.ExploreContext(context.Background())
+}
+
+// ExploreContext runs the design space exploration under ctx (idempotent).
+// Cancelling the context stops the exploration promptly with ctx.Err()
+// and leaves the study without a result, so a later call can retry. When
+// s.Config.Obs is set, the run is fully instrumented (see dse.Config.Obs).
+func (s *Study) ExploreContext(ctx context.Context) error {
 	if s.Result != nil {
 		return nil
 	}
@@ -58,12 +68,21 @@ func (s *Study) Explore() error {
 		}
 		s.Config.Annotator = testcost.NewAnnotator(w, s.Config.Seed)
 	}
-	res, err := dse.Explore(s.Config)
+	res, err := dse.ExploreContext(ctx, s.Config)
 	if err != nil {
 		return err
 	}
 	s.Result = res
 	return nil
+}
+
+// Reselect re-runs the figure-9 selection under a custom norm and weight
+// spec without re-exploring the space.
+func (s *Study) Reselect(spec dse.SelectionSpec) error {
+	if err := s.ensure(); err != nil {
+		return err
+	}
+	return s.Result.Reselect(spec)
 }
 
 func (s *Study) ensure() error {

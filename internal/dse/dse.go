@@ -9,16 +9,21 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/crypt"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/power"
 	"repro/internal/program"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/testcost"
 	"repro/internal/tta"
 )
@@ -65,10 +70,28 @@ type Config struct {
 	// every candidate (an extension beyond the paper's three axes).
 	EnergyModel *power.Model
 
-	// Parallelism bounds the number of candidates evaluated concurrently
-	// (0 = GOMAXPROCS). Results are identical at any setting: candidates
-	// are independent and the annotator cache is synchronized.
+	// Parallelism bounds the number of candidates evaluated concurrently.
+	// 0 selects GOMAXPROCS; negative values are a configuration error
+	// (reported by Explore/ExploreContext). Results are identical at any
+	// setting: candidates are independent and the annotator cache is
+	// synchronized.
 	Parallelism int
+
+	// Obs, when non-nil, collects the exploration's metrics: per-stage
+	// spans (dse > enumerate/evaluate/pareto/sim with sched and atpg
+	// under evaluate), candidate counters, annotator cache hit rate,
+	// worker utilization, and a per-candidate-completion progress event
+	// stream. It is forwarded to the scheduler, the annotator's ATPG runs
+	// and the functional simulator. Callers opt in per exploration — no
+	// global state. A nil registry costs nothing.
+	Obs *obs.Registry
+
+	// VerifySelected, when set, functionally verifies the selected
+	// candidate after the exploration: its schedule is re-derived and
+	// executed on the cycle-accurate simulator (internal/sim) with every
+	// transported value checked against the dataflow reference. The run
+	// is recorded under the "sim" span of Obs.
+	VerifySelected bool
 }
 
 // DefaultConfig returns the exploration used for the paper's figures: the
@@ -102,6 +125,9 @@ func DefaultConfig() (Config, error) {
 }
 
 func (c *Config) fillDefaults() error {
+	if c.Parallelism < 0 {
+		return fmt.Errorf("dse: Parallelism %d is negative (use 0 for GOMAXPROCS)", c.Parallelism)
+	}
 	if c.Width == 0 {
 		c.Width = 16
 	}
@@ -139,6 +165,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Annotator == nil {
 		c.Annotator = testcost.NewAnnotator(c.Width, c.Seed)
+	}
+	if c.Annotator.Obs == nil {
+		c.Annotator.Obs = c.Obs
 	}
 	return nil
 }
@@ -183,19 +212,35 @@ type Result struct {
 	// Selected indexes Candidates: the minimal-equal-weight-Euclid-norm
 	// member of the 3-D front (figure 9).
 	Selected int
+	// Verified reports that the selected candidate's schedule executed
+	// correctly on the cycle-accurate simulator (Config.VerifySelected).
+	Verified bool
 }
 
-// Explore runs the full exploration.
+// Explore runs the full exploration. It is a thin wrapper over
+// ExploreContext with a background context; new code should prefer
+// ExploreContext.
 func Explore(cfg Config) (*Result, error) {
+	return ExploreContext(context.Background(), cfg)
+}
+
+// ExploreContext runs the full exploration under ctx: cancelling the
+// context (or exceeding its deadline) stops the candidate evaluations —
+// including in-flight scheduling and gate-level ATPG runs — promptly and
+// returns ctx.Err() with no partial result and no leaked goroutine. When
+// cfg.Obs is set, the run is fully instrumented (see Config.Obs).
+func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Obs
+	root := reg.StartSpan("dse")
+	defer root.End()
 	res := &Result{Config: cfg, Selected: -1}
-	mem := crypt.MemoryImage()
-	_ = mem
 
 	// Enumerate the space, then evaluate candidates concurrently (the
 	// result slice is indexed, so ordering is deterministic).
+	enumSp := root.Child("enumerate")
 	var archs []*tta.Architecture
 	id := 0
 	for _, buses := range cfg.Buses {
@@ -210,6 +255,9 @@ func Explore(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	enumSp.End()
+	reg.Counter("dse.candidates.total").Add(int64(len(archs)))
+
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -217,8 +265,11 @@ func Explore(cfg Config) (*Result, error) {
 	if workers > len(archs) {
 		workers = len(archs)
 	}
+	reg.Gauge("dse.workers").Set(float64(workers))
 	res.Candidates = make([]Candidate, len(archs))
 	errs := make([]error, len(archs))
+	evalStart := time.Now()
+	var busyNS, completed atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -226,21 +277,56 @@ func Explore(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res.Candidates[i], errs[i] = evaluate(&cfg, archs[i])
+				t0 := time.Now()
+				sp := root.Child("evaluate")
+				res.Candidates[i], errs[i] = evaluate(ctx, &cfg, archs[i], sp)
+				sp.End()
+				busyNS.Add(int64(time.Since(t0)))
+				if errs[i] == nil {
+					if res.Candidates[i].Feasible {
+						reg.Counter("dse.candidates.feasible").Inc()
+					} else {
+						reg.Counter("dse.candidates.infeasible").Inc()
+					}
+				}
+				n := int(completed.Add(1))
+				reg.Emit(obs.Event{
+					Kind:  "candidate",
+					Msg:   candidateEventMsg(archs[i], &res.Candidates[i], errs[i]),
+					N:     n,
+					Total: len(archs),
+				})
 			}
 		}()
 	}
+feed:
 	for i := range archs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if wall := time.Since(evalStart); wall > 0 && workers > 0 {
+		reg.Gauge("dse.worker.utilization").Set(
+			float64(busyNS.Load()) / (float64(wall.Nanoseconds()) * float64(workers)))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	if hit, miss := reg.Counter("testcost.cache.hit").Value(), reg.Counter("testcost.cache.miss").Value(); hit+miss > 0 {
+		reg.Gauge("testcost.cache.hit_rate").Set(float64(hit) / float64(hit+miss))
+	}
 
+	paretoSp := root.Child("pareto")
+	defer paretoSp.End()
 	var pts2, pts3 []pareto.Point
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
@@ -265,16 +351,50 @@ func Explore(cfg Config) (*Result, error) {
 
 	// Selection (figure 9): equal-weight Euclidean norm over the 3-D
 	// front members.
-	var sel []pareto.Point
-	for _, i := range res.Front3D {
-		sel = append(sel, pareto.Point{ID: i, Coords: res.Candidates[i].Coords()})
-	}
-	best, err := pareto.Select(sel, nil, pareto.Euclid)
-	if err != nil {
+	if err := res.Reselect(SelectionSpec{}); err != nil {
 		return res, err
 	}
-	res.Selected = sel[best].ID
+	paretoSp.End()
+
+	if cfg.VerifySelected && res.Selected >= 0 {
+		simSp := root.Child("sim")
+		err := verifySelected(ctx, &cfg, res)
+		simSp.End()
+		if err != nil {
+			return res, fmt.Errorf("dse: selected-candidate verification: %w", err)
+		}
+		res.Verified = true
+	}
 	return res, nil
+}
+
+// candidateEventMsg renders one progress-event line for a completed
+// candidate evaluation.
+func candidateEventMsg(arch *tta.Architecture, c *Candidate, err error) string {
+	switch {
+	case err != nil:
+		return fmt.Sprintf("%s: error: %v", arch.Name, err)
+	case !c.Feasible:
+		return fmt.Sprintf("%s: infeasible (%s)", arch.Name, c.Reason)
+	default:
+		return fmt.Sprintf("%s: area %.0f, %d cycles, test %d", arch.Name, c.Area, c.Cycles, c.TestCost)
+	}
+}
+
+// verifySelected cross-checks the selected candidate end to end: the
+// workload is re-scheduled onto the winning architecture and the move
+// program executed on the cycle-accurate simulator with reference
+// verification of every transported value (inputs seeded to zero — the
+// check is schedule correctness, not application output).
+func verifySelected(ctx context.Context, cfg *Config, res *Result) error {
+	arch := res.Candidates[res.Selected].Arch
+	schedRes, err := sched.ScheduleContext(ctx, cfg.Workload, arch, sched.Options{Obs: cfg.Obs})
+	if err != nil {
+		return err
+	}
+	inputs := make([]uint64, cfg.Workload.NumInputs())
+	_, err = sim.Run(schedRes, inputs, crypt.MemoryImage(), sim.Options{Verify: true, Obs: cfg.Obs})
+	return err
 }
 
 // buildArch assembles one candidate architecture.
@@ -302,13 +422,20 @@ func buildArch(width, buses, nALU, nCMP int, rfs []RFSpec, strat tta.AssignStrat
 	return a
 }
 
-// evaluate computes all three axes for one candidate.
-func evaluate(cfg *Config, arch *tta.Architecture) (Candidate, error) {
+// evaluate computes all three axes for one candidate. sp (nil allowed)
+// is the candidate's "evaluate" span; scheduling and gate-level
+// annotation time are recorded under its "sched" and "atpg" children.
+func evaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (Candidate, error) {
 	cand := Candidate{Arch: arch}
 
 	// Throughput axis: schedule the kernel.
-	schedRes, err := sched.Schedule(cfg.Workload, arch, sched.Options{})
+	schedSp := sp.Child("sched")
+	schedRes, err := sched.ScheduleContext(ctx, cfg.Workload, arch, sched.Options{Obs: cfg.Obs})
+	schedSp.End()
 	if err != nil {
+		if ctx.Err() != nil {
+			return cand, ctx.Err()
+		}
 		cand.Feasible = false
 		cand.Reason = err.Error()
 		return cand, nil
@@ -318,10 +445,12 @@ func evaluate(cfg *Config, arch *tta.Architecture) (Candidate, error) {
 	cand.Spills = schedRes.Spills
 
 	// Area and clock axes from the gate-level library.
+	atpgSp := sp.Child("atpg")
+	defer atpgSp.End()
 	area := 0.0
 	clock := cfg.BusDelay
 	for ci := range arch.Components {
-		ar, dl, err := cfg.Annotator.AreaDelay(&arch.Components[ci])
+		ar, dl, err := cfg.Annotator.AreaDelayContext(ctx, &arch.Components[ci])
 		if err != nil {
 			return cand, err
 		}
@@ -348,7 +477,7 @@ func evaluate(cfg *Config, arch *tta.Architecture) (Candidate, error) {
 	}
 
 	// Test axis: equation (14).
-	cost, err := cfg.Annotator.Evaluate(arch)
+	cost, err := cfg.Annotator.EvaluateContext(ctx, arch)
 	if err != nil {
 		return cand, err
 	}

@@ -1,0 +1,81 @@
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+)
+
+// SelectionSpec describes how the final architecture is picked from the
+// 3-D Pareto front (the paper's figure-9 step): a norm and per-axis
+// weights for area, execution time and test cost. The zero value selects
+// the paper's default — equal weights under the Euclidean norm.
+type SelectionSpec struct {
+	// Norm names the distance norm: "euclid" (default when empty),
+	// "manhattan" or "chebyshev".
+	Norm string
+	// WA, WT, WC weight the area, execution-time and test-cost axes.
+	// All-zero means equal weights (1,1,1).
+	WA, WT, WC float64
+}
+
+// Validate reports whether the spec is usable: the norm must be known and
+// the weights non-negative with at least one positive (unless all are
+// zero, which means equal weights).
+func (s SelectionSpec) Validate() error {
+	if _, err := s.norm(); err != nil {
+		return err
+	}
+	if s.WA < 0 || s.WT < 0 || s.WC < 0 {
+		return fmt.Errorf("dse: selection weights must be non-negative (got wa=%g wt=%g wc=%g)",
+			s.WA, s.WT, s.WC)
+	}
+	return nil
+}
+
+func (s SelectionSpec) norm() (pareto.Norm, error) {
+	switch s.Norm {
+	case "", "euclid":
+		return pareto.Euclid, nil
+	case "manhattan":
+		return pareto.Manhattan, nil
+	case "chebyshev":
+		return pareto.Chebyshev, nil
+	default:
+		return pareto.Euclid, fmt.Errorf("dse: unknown selection norm %q (want euclid, manhattan or chebyshev)", s.Norm)
+	}
+}
+
+// weights returns the weight vector for pareto.Select (nil = equal).
+func (s SelectionSpec) weights() []float64 {
+	if s.WA == 0 && s.WT == 0 && s.WC == 0 {
+		return nil
+	}
+	return []float64{s.WA, s.WT, s.WC}
+}
+
+// Reselect re-runs the figure-9 selection over the existing 3-D front
+// under the given spec and updates r.Selected. The fronts themselves are
+// weight-independent and are not recomputed.
+func (r *Result) Reselect(spec SelectionSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(r.Front3D) == 0 {
+		return fmt.Errorf("dse: no 3-D front to select from")
+	}
+	n, err := spec.norm()
+	if err != nil {
+		return err
+	}
+	var pts []pareto.Point
+	for _, i := range r.Front3D {
+		pts = append(pts, pareto.Point{ID: i, Coords: r.Candidates[i].Coords()})
+	}
+	best, err := pareto.Select(pts, spec.weights(), n)
+	if err != nil {
+		return err
+	}
+	r.Selected = pts[best].ID
+	return nil
+}

@@ -1,0 +1,65 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectionSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec    SelectionSpec
+		wantErr string // "" = valid
+	}{
+		{SelectionSpec{}, ""},
+		{SelectionSpec{Norm: "euclid", WA: 1, WT: 1, WC: 1}, ""},
+		{SelectionSpec{Norm: "manhattan"}, ""},
+		{SelectionSpec{Norm: "chebyshev", WC: 5}, ""},
+		{SelectionSpec{Norm: "l2"}, "unknown selection norm"},
+		{SelectionSpec{WA: -1}, "non-negative"},
+		{SelectionSpec{Norm: "euclid", WT: -0.5}, "non-negative"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("Validate(%+v) = %v, want nil", c.spec, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.spec, err, c.wantErr)
+		}
+	}
+}
+
+// TestReselect re-selects the shared exploration under a heavy test-cost
+// weight and checks the result stays on the 3-D front and the selection
+// is at least as test-cheap as the equal-weight choice.
+func TestReselect(t *testing.T) {
+	res := explore(t)
+	equal := res.Selected
+	defer func() {
+		if err := res.Reselect(SelectionSpec{}); err != nil { // restore for other tests
+			t.Fatal(err)
+		}
+	}()
+	if err := res.Reselect(SelectionSpec{Norm: "euclid", WA: 1, WT: 1, WC: 100}); err != nil {
+		t.Fatal(err)
+	}
+	onFront := false
+	for _, i := range res.Front3D {
+		if i == res.Selected {
+			onFront = true
+		}
+	}
+	if !onFront {
+		t.Fatalf("reselected index %d not on the 3-D front", res.Selected)
+	}
+	if res.Candidates[res.Selected].TestCost > res.Candidates[equal].TestCost {
+		t.Fatalf("test-heavy selection (%d cycles) costs more than equal-weight (%d cycles)",
+			res.Candidates[res.Selected].TestCost, res.Candidates[equal].TestCost)
+	}
+	if err := res.Reselect(SelectionSpec{Norm: "nope"}); err == nil {
+		t.Fatal("Reselect accepted an unknown norm")
+	}
+}

@@ -1,0 +1,306 @@
+// Package obs is the engine's lightweight, dependency-free observability
+// layer: atomic counters, float gauges, duration timers, hierarchical
+// wall-clock spans and a progress-event stream, all collected in a
+// Registry and exported through Snapshot/Sink (JSON or human-readable
+// text).
+//
+// Design rules:
+//
+//   - No global state. Instrumented packages receive a *Registry through
+//     their existing config/option structs; callers that do not care pass
+//     nothing.
+//   - A nil *Registry (and every handle obtained from one) is a valid
+//     no-op, so hot paths instrument unconditionally without nil checks
+//     or branching at call sites.
+//   - All operations are safe for concurrent use; counters and gauges are
+//     single atomic words, timers and span nodes take a short mutex only
+//     when recording.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64 (utilizations, rates, last-seen
+// values).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates observed durations: count, sum, min and max.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration. No-op on a nil timer.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.sum += d
+	t.mu.Unlock()
+}
+
+// Start begins a measurement; calling the returned func records the
+// elapsed time (use with defer). Safe on a nil timer.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Stats returns the timer's aggregate view.
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimerStats{
+		Count:        t.count,
+		TotalSeconds: t.sum.Seconds(),
+		MinSeconds:   t.min.Seconds(),
+		MaxSeconds:   t.max.Seconds(),
+	}
+	if t.count > 0 {
+		s.MeanSeconds = s.TotalSeconds / float64(t.count)
+	}
+	return s
+}
+
+// Event is one progress notification (e.g. a candidate evaluation
+// completing inside a long exploration).
+type Event struct {
+	// Kind groups events ("candidate", "phase", ...).
+	Kind string
+	// Msg is a short human-readable description.
+	Msg string
+	// N/Total express progress when known (0 Total = unknown).
+	N, Total int
+}
+
+// Registry collects all metrics of one run. The zero value is not usable;
+// construct with NewRegistry. A nil *Registry is a valid no-op sink for
+// every method.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	subs     []func(Event)
+
+	root *spanNode
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+		root:     newSpanNode(""),
+	}
+}
+
+// Counter returns (creating on first use) the named counter. Returns nil
+// on a nil registry; the nil counter is a no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns (creating on first use) the named timer.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Subscribe registers fn to receive every subsequent Emit. Subscribers
+// are invoked synchronously from the emitting goroutine and must be fast
+// and concurrency-safe.
+func (r *Registry) Subscribe(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+// Emit delivers ev to all subscribers. No-op on a nil registry.
+func (r *Registry) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// Snapshot captures a consistent point-in-time view of every metric.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{}
+	}
+	s := &Snapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Counters:      map[string]int64{},
+		Gauges:        map[string]float64{},
+		Timers:        map[string]TimerStats{},
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range timers {
+		s.Timers[k] = v.Stats()
+	}
+	s.Spans = r.root.childStats()
+	return s
+}
+
+// TimerStats is the exported aggregate of one Timer.
+type TimerStats struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+// SpanStats is the exported aggregate of one span-tree node: all
+// same-named spans started under the same parent fold into one node.
+type SpanStats struct {
+	Name         string      `json:"name"`
+	Count        int64       `json:"count"`
+	TotalSeconds float64     `json:"total_seconds"`
+	MinSeconds   float64     `json:"min_seconds"`
+	MaxSeconds   float64     `json:"max_seconds"`
+	Children     []SpanStats `json:"children,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a registry, the unit Sinks emit.
+type Snapshot struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Counters      map[string]int64      `json:"counters"`
+	Gauges        map[string]float64    `json:"gauges"`
+	Timers        map[string]TimerStats `json:"timers"`
+	Spans         []SpanStats           `json:"spans"`
+}
+
+// sortedKeys returns map keys in lexical order (deterministic emission).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// spanNode aggregates every span started with the same name under the
+// same parent: hundreds of per-candidate "evaluate" spans collapse into
+// one node with count/total/min/max, keeping snapshots small no matter
+// how long an exploration runs.
+type spanNode struct {
+	name string
+
+	mu       sync.Mutex
+	count    int64
+	total    time.Duration
+	min      time.Duration
+	max      time.Duration
+	children map[string]*spanNode
+}
+
+func newSpanNode(name string) *spanNode {
+	return &spanNode{name: name, children: make(map[string]*spanNode)}
+}
+
+func (n *spanNode) child(name string) *spanNode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.children[name]
+	if !ok {
+		c = newSpanNode(name)
+		n.children[name] = c
+	}
+	return c
+}
+
+func (n *spanNode) record(d time.Duration) {
+	n.mu.Lock()
+	if n.count == 0 || d < n.min {
+		n.min = d
+	}
+	if d > n.max {
+		n.max = d
+	}
+	n.count++
+	n.total += d
+	n.mu.Unlock()
+}
+
+// childStats exports the node's children as a name-sorted stats forest.
+func (n *spanNode) childStats() []SpanStats {
+	n.mu.Lock()
+	kids := make([]*spanNode, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	n.mu.Unlock()
+	sort.Slice(kids, func(a, b int) bool { return kids[a].name < kids[b].name })
+	out := make([]SpanStats, 0, len(kids))
+	for _, c := range kids {
+		c.mu.Lock()
+		s := SpanStats{
+			Name:         c.name,
+			Count:        c.count,
+			TotalSeconds: c.total.Seconds(),
+			MinSeconds:   c.min.Seconds(),
+			MaxSeconds:   c.max.Seconds(),
+		}
+		c.mu.Unlock()
+		s.Children = c.childStats()
+		out = append(out, s)
+	}
+	return out
+}
+
+// Span is one live timed region. Spans form a hierarchy via Child; ending
+// a span records its wall-clock duration into the aggregated tree. A nil
+// *Span is a valid no-op (Child returns nil, End does nothing), so
+// instrumented code never branches on whether observability is enabled.
+type Span struct {
+	node  *spanNode
+	start time.Time
+	done  bool
+	mu    sync.Mutex
+}
+
+// StartSpan begins a top-level span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{node: r.root.child(name), start: time.Now()}
+}
+
+// Child begins a nested span. Same-named children of the same parent
+// aggregate into one stats node. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{node: s.node.child(name), start: time.Now()}
+}
+
+// End records the span's duration. Safe to call multiple times (only the
+// first records) and on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	d := time.Since(s.start)
+	s.mu.Unlock()
+	s.node.record(d)
+}

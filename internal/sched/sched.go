@@ -21,9 +21,11 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/tta"
 )
@@ -153,6 +155,10 @@ type Options struct {
 	MaxCycles int
 	// Priority selects the list-scheduling order (default CriticalPath).
 	Priority Priority
+	// Obs, when non-nil, receives scheduler metrics: cycles iterated,
+	// moves emitted, spill/reload traffic and stall cycles (counters
+	// "sched.*"). A nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 type valueState struct {
@@ -191,6 +197,14 @@ type opState struct {
 // the architecture cannot execute the graph (missing unit kinds, too few
 // registers) or when scheduling exceeds the cycle bound.
 func Schedule(g *program.Graph, arch *tta.Architecture, opts Options) (*Result, error) {
+	return ScheduleContext(context.Background(), g, arch, opts)
+}
+
+// ScheduleContext is Schedule with cancellation: the scheduling loop
+// checks ctx periodically and returns ctx.Err() when it is done, so a
+// pathological schedule inside a large exploration cannot outlive its
+// caller's deadline.
+func ScheduleContext(ctx context.Context, g *program.Graph, arch *tta.Architecture, opts Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -201,7 +215,7 @@ func Schedule(g *program.Graph, arch *tta.Architecture, opts Options) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return s.run()
+	return s.run(ctx)
 }
 
 type scheduler struct {
@@ -244,6 +258,7 @@ type scheduler struct {
 	reloadCount int
 	consumers   [][]int32 // per value: consuming op indices (ascending)
 	stallStreak int
+	stallTotal  int // cycles in which no move was emitted
 	movedNow    bool
 	// wantSpill is raised when an op could start but for register
 	// capacity — demand-driven spilling keeps function units busy even
@@ -341,7 +356,12 @@ func computeHeights(g *program.Graph) []int {
 	return h
 }
 
-func (s *scheduler) run() (*Result, error) {
+// ctxCheckInterval is how many scheduling cycles pass between context
+// polls — frequent enough for prompt cancellation, rare enough to stay
+// off the per-cycle fast path.
+const ctxCheckInterval = 64
+
+func (s *scheduler) run(ctx context.Context) (*Result, error) {
 	g := s.g
 	// Count uses so registers can be freed after the last read.
 	for i := range s.vals {
@@ -407,7 +427,22 @@ func (s *scheduler) run() (*Result, error) {
 	remaining := len(pendings)
 	var inflight []int
 	cycle := 0
+	if r := s.opts.Obs; r != nil {
+		defer func() {
+			r.Counter("sched.runs").Inc()
+			r.Counter("sched.cycles").Add(int64(cycle))
+			r.Counter("sched.moves").Add(int64(len(s.moves)))
+			r.Counter("sched.spills").Add(int64(s.spillCount))
+			r.Counter("sched.reloads").Add(int64(s.reloadCount))
+			r.Counter("sched.stall_cycles").Add(int64(s.stallTotal))
+		}()
+	}
 	for remaining > 0 {
+		if cycle%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if cycle > maxCycles {
 			return nil, fmt.Errorf("sched: no convergence after %d cycles (%d ops left; register pressure?)",
 				cycle, remaining)
@@ -471,6 +506,7 @@ func (s *scheduler) run() (*Result, error) {
 			s.stallStreak = 0
 		} else {
 			s.stallStreak++
+			s.stallTotal++
 			if s.stallStreak >= 4 {
 				if !s.maybeSpill(cycle) && s.spillsIdle() && s.stallStreak > 8 {
 					return nil, fmt.Errorf("sched: starved at cycle %d (%d ops left, %d live registers, no spillable victim)",

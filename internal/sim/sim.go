@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/sched"
 	"repro/internal/tta"
@@ -42,6 +43,9 @@ type Options struct {
 	// netlist for the behavioural semantics. Return handled=false to fall
 	// back to the normal execution.
 	ExecOverride func(comp int, op program.OpCode, o, t uint64) (result uint64, handled bool)
+	// Obs, when non-nil, receives simulation metrics: runs, cycles
+	// executed and moves transported (counters "sim.*").
+	Obs *obs.Registry
 }
 
 // Run executes the schedule with the given program inputs and memory
@@ -146,6 +150,12 @@ func Run(res *sched.Result, inputs []uint64, mem program.Memory, opts Options) (
 				return nil, err
 			}
 		}
+	}
+
+	if r := opts.Obs; r != nil {
+		r.Counter("sim.runs").Inc()
+		r.Counter("sim.cycles").Add(int64(maxCycle + 1))
+		r.Counter("sim.moves").Add(int64(len(res.Moves)))
 	}
 
 	out := make([]uint64, len(g.Outputs))

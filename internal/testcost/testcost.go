@@ -10,12 +10,14 @@
 package testcost
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/atpg"
 	"repro/internal/gatelib"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/tta"
 )
@@ -86,6 +88,12 @@ type Annotator struct {
 	Seed  int64
 	March march.Test
 
+	// Obs, when non-nil, receives annotation-cache hit/miss counters
+	// ("testcost.cache.hit"/"testcost.cache.miss") and is forwarded to
+	// the ATPG runs behind cache misses. Set it before sharing the
+	// annotator across goroutines.
+	Obs *obs.Registry
+
 	mu    sync.Mutex
 	cache map[string]annotation
 
@@ -107,17 +115,22 @@ func NewAnnotator(width int, seed int64) *Annotator {
 	}
 }
 
-func (a *Annotator) annotate(key string, gen func() (*gatelib.Component, error)) (annotation, error) {
+func (a *Annotator) annotate(ctx context.Context, key string, gen func() (*gatelib.Component, error)) (annotation, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if an, ok := a.cache[key]; ok {
+		a.Obs.Counter("testcost.cache.hit").Inc()
 		return an, nil
 	}
+	a.Obs.Counter("testcost.cache.miss").Inc()
 	comp, err := gen()
 	if err != nil {
 		return annotation{}, err
 	}
-	res := atpg.Run(comp.Seq, atpg.Config{Seed: a.Seed})
+	res, err := atpg.RunContext(ctx, comp.Seq, atpg.Config{Seed: a.Seed, Obs: a.Obs})
+	if err != nil {
+		return annotation{}, err
+	}
 	an := annotation{
 		np:       res.NumPatterns(),
 		nl:       comp.SeqFFs(),
@@ -171,19 +184,19 @@ func ceilDiv(x, y int) int {
 
 // componentAnnotation fetches the library annotation for an architecture
 // component.
-func (a *Annotator) componentAnnotation(c *tta.Component) (annotation, error) {
+func (a *Annotator) componentAnnotation(ctx context.Context, c *tta.Component) (annotation, error) {
 	switch c.Kind {
 	case tta.ALU:
-		return a.annotate(fmt.Sprintf("alu/%d/%s", a.Width, c.Adder), func() (*gatelib.Component, error) {
+		return a.annotate(ctx, fmt.Sprintf("alu/%d/%s", a.Width, c.Adder), func() (*gatelib.Component, error) {
 			return a.Lib.ALU(gatelib.ALUConfig{Width: a.Width, Adder: c.Adder})
 		})
 	case tta.CMP:
-		return a.annotate(fmt.Sprintf("cmp/%d", a.Width), func() (*gatelib.Component, error) {
+		return a.annotate(ctx, fmt.Sprintf("cmp/%d", a.Width), func() (*gatelib.Component, error) {
 			return a.Lib.CMP(a.Width)
 		})
 	case tta.RF:
 		cfg := gatelib.RFConfig{Width: a.Width, NumRegs: c.NumRegs, NumIn: c.NumIn, NumOut: c.NumOut}
-		an, err := a.annotate("rf/"+cfg.String(), func() (*gatelib.Component, error) {
+		an, err := a.annotate(ctx, "rf/"+cfg.String(), func() (*gatelib.Component, error) {
 			return a.Lib.RF(cfg)
 		})
 		if err != nil {
@@ -194,15 +207,15 @@ func (a *Annotator) componentAnnotation(c *tta.Component) (annotation, error) {
 		an.np = march.MultiPortPatternCount(a.March, c.NumRegs, c.NumIn, c.NumOut)
 		return an, nil
 	case tta.LDST:
-		return a.annotate(fmt.Sprintf("ldst/%d", a.Width), func() (*gatelib.Component, error) {
+		return a.annotate(ctx, fmt.Sprintf("ldst/%d", a.Width), func() (*gatelib.Component, error) {
 			return a.Lib.LDST(a.Width)
 		})
 	case tta.PC:
-		return a.annotate(fmt.Sprintf("pc/%d", a.Width), func() (*gatelib.Component, error) {
+		return a.annotate(ctx, fmt.Sprintf("pc/%d", a.Width), func() (*gatelib.Component, error) {
 			return a.Lib.PC(a.Width)
 		})
 	case tta.IMM:
-		return a.annotate(fmt.Sprintf("imm/%d", a.Width), func() (*gatelib.Component, error) {
+		return a.annotate(ctx, fmt.Sprintf("imm/%d", a.Width), func() (*gatelib.Component, error) {
 			return a.Lib.IMM(a.Width)
 		})
 	default:
@@ -213,6 +226,12 @@ func (a *Annotator) componentAnnotation(c *tta.Component) (annotation, error) {
 // Evaluate computes the full Table-1-style cost breakdown and the eq. (14)
 // total for an architecture. Ports must be assigned to buses.
 func (a *Annotator) Evaluate(arch *tta.Architecture) (*ArchCost, error) {
+	return a.EvaluateContext(context.Background(), arch)
+}
+
+// EvaluateContext is Evaluate with cancellation: the gate-level ATPG runs
+// behind annotation-cache misses poll ctx and abort when it is done.
+func (a *Annotator) EvaluateContext(ctx context.Context, arch *tta.Architecture) (*ArchCost, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
@@ -225,7 +244,7 @@ func (a *Annotator) Evaluate(arch *tta.Architecture) (*ArchCost, error) {
 	out := &ArchCost{Arch: arch}
 	for ci := range arch.Components {
 		c := &arch.Components[ci]
-		an, err := a.componentAnnotation(c)
+		an, err := a.componentAnnotation(ctx, c)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +305,12 @@ func rfCost(np, cd, nIn, nOut, buses int) int {
 // AreaDelay exposes the library's area and critical-path annotation for a
 // component (used by the DSE's area/throughput axes).
 func (a *Annotator) AreaDelay(c *tta.Component) (area, delay float64, err error) {
-	an, err := a.componentAnnotation(c)
+	return a.AreaDelayContext(context.Background(), c)
+}
+
+// AreaDelayContext is AreaDelay with cancellation (see EvaluateContext).
+func (a *Annotator) AreaDelayContext(ctx context.Context, c *tta.Component) (area, delay float64, err error) {
+	an, err := a.componentAnnotation(ctx, c)
 	if err != nil {
 		return 0, 0, err
 	}
