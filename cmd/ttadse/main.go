@@ -21,10 +21,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -32,6 +35,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/testcost"
 	"repro/internal/tta"
 	"repro/internal/workloads"
 )
@@ -51,6 +55,7 @@ func main() {
 	wc := flag.Float64("wc", 1, "test-cost weight")
 	save := flag.String("save", "", "write the selected architecture as JSON to this file")
 	workload := flag.String("workload", "crypt", "application kernel: crypt, crc16, vecmax, countbelow or checksum")
+	cache := flag.String("cache", "", "warm-start annotation cache file: loaded if present, rewritten after the run")
 	metrics := flag.String("metrics", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
 	progress := flag.Bool("progress", false, "stream candidate-completion events to stderr")
 	timeout := flag.Duration("timeout", 0, "cancel the exploration after this duration (0 = none)")
@@ -98,6 +103,25 @@ func main() {
 		})
 	}
 
+	// Warm-start cache: skip the gate-level ATPG back-annotation when a
+	// matching cache file exists. A missing file is an ordinary cold
+	// start; a stale file (different format version, library generation,
+	// width, seed or march) is ignored with a warning and overwritten
+	// after the run.
+	if *cache != "" {
+		cfg.Annotator = testcost.NewAnnotator(cfg.Width, cfg.Seed)
+		cfg.Annotator.Obs = cfg.Obs // count loaded entries when instrumented
+		var mismatch *testcost.CacheMismatchError
+		switch err := cfg.Annotator.LoadFile(*cache); {
+		case err == nil:
+		case errors.Is(err, fs.ErrNotExist):
+		case errors.As(err, &mismatch):
+			log.Printf("warning: ignoring stale cache %s: %v", *cache, err)
+		default:
+			log.Fatal(err)
+		}
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -108,6 +132,11 @@ func main() {
 	study := core.NewStudyWithConfig(cfg)
 	if err := study.ExploreContext(ctx); err != nil {
 		log.Fatal(err)
+	}
+	if *cache != "" {
+		if err := cfg.Annotator.SaveFile(*cache); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Optional re-selection under custom weights/norm.
@@ -174,8 +203,14 @@ func main() {
 }
 
 // parseIntList parses a comma-separated list of positive ints for the
-// named flag, reporting the offending token on error.
+// named flag, reporting the offending token on error. The result is
+// sorted and deduplicated: repeated or unordered values would otherwise
+// enumerate (and evaluate) the same candidates twice.
 func parseIntList(name, raw string) ([]int, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("flag -%s: empty list (want a positive integer list like 1,2,3)", name)
+	}
+	seen := make(map[int]bool)
 	var out []int
 	for _, tok := range strings.Split(raw, ",") {
 		s := strings.TrimSpace(tok)
@@ -183,8 +218,13 @@ func parseIntList(name, raw string) ([]int, error) {
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("flag -%s: invalid count %q (want a positive integer list like 1,2,3)", name, s)
 		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out, nil
 }
 

@@ -13,7 +13,7 @@ func TestParseIntList(t *testing.T) {
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
 		t.Fatalf("parseIntList = %v", got)
 	}
-	for _, raw := range []string{"", "1,x", "0", "1,,2", "-3"} {
+	for _, raw := range []string{"", "   ", "1,x", "0", "1,,2", "-3"} {
 		_, err := parseIntList("alus", raw)
 		if err == nil {
 			t.Fatalf("parseIntList(%q) accepted invalid input", raw)
@@ -26,5 +26,28 @@ func TestParseIntList(t *testing.T) {
 	_, err = parseIntList("buses", "1,2,bogus")
 	if err == nil || !strings.Contains(err.Error(), `"bogus"`) {
 		t.Fatalf("error %v does not report the offending token", err)
+	}
+}
+
+func TestParseIntListDedupesAndSorts(t *testing.T) {
+	// Duplicates and unsorted input must not produce duplicate candidates
+	// downstream: the parsed list is sorted and deduplicated.
+	got, err := parseIntList("buses", "3,1,2,3,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("parseIntList = %v, want [1 2 3]", got)
+	}
+}
+
+func TestParseIntListEmptyMessage(t *testing.T) {
+	// The empty string gets its own error, not `invalid count ""`.
+	_, err := parseIntList("cmps", "")
+	if err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if !strings.Contains(err.Error(), "empty list") || strings.Contains(err.Error(), `""`) {
+		t.Fatalf("empty input reported as %q, want a dedicated empty-list message", err)
 	}
 }

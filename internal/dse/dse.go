@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -231,6 +232,9 @@ func Explore(cfg Config) (*Result, error) {
 // cfg.Obs is set, the run is fully instrumented (see Config.Obs).
 func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
+		// No evaluation ran; still publish the gauge so every exit path
+		// leaves "dse.worker.utilization" set.
+		cfg.Obs.Gauge("dse.worker.utilization").Set(0)
 		return nil, err
 	}
 	reg := cfg.Obs
@@ -258,61 +262,7 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	enumSp.End()
 	reg.Counter("dse.candidates.total").Add(int64(len(archs)))
 
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(archs) {
-		workers = len(archs)
-	}
-	reg.Gauge("dse.workers").Set(float64(workers))
-	res.Candidates = make([]Candidate, len(archs))
-	errs := make([]error, len(archs))
-	evalStart := time.Now()
-	var busyNS, completed atomic.Int64
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				t0 := time.Now()
-				sp := root.Child("evaluate")
-				res.Candidates[i], errs[i] = evaluate(ctx, &cfg, archs[i], sp)
-				sp.End()
-				busyNS.Add(int64(time.Since(t0)))
-				if errs[i] == nil {
-					if res.Candidates[i].Feasible {
-						reg.Counter("dse.candidates.feasible").Inc()
-					} else {
-						reg.Counter("dse.candidates.infeasible").Inc()
-					}
-				}
-				n := int(completed.Add(1))
-				reg.Emit(obs.Event{
-					Kind:  "candidate",
-					Msg:   candidateEventMsg(archs[i], &res.Candidates[i], errs[i]),
-					N:     n,
-					Total: len(archs),
-				})
-			}
-		}()
-	}
-feed:
-	for i := range archs {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-	if wall := time.Since(evalStart); wall > 0 && workers > 0 {
-		reg.Gauge("dse.worker.utilization").Set(
-			float64(busyNS.Load()) / (float64(wall.Nanoseconds()) * float64(workers)))
-	}
+	errs := runEvaluations(ctx, &cfg, root, archs, res)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -366,6 +316,75 @@ feed:
 		res.Verified = true
 	}
 	return res, nil
+}
+
+// runEvaluations evaluates every candidate over a bounded worker pool,
+// filling res.Candidates (indexed, so ordering is deterministic at any
+// parallelism) and returning the per-candidate errors. The
+// "dse.worker.utilization" gauge is set on every exit path — including a
+// cancelled context or a candidate error surfacing to the caller.
+func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*tta.Architecture, res *Result) []error {
+	reg := cfg.Obs
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(archs) {
+		workers = len(archs)
+	}
+	reg.Gauge("dse.workers").Set(float64(workers))
+	res.Candidates = make([]Candidate, len(archs))
+	errs := make([]error, len(archs))
+	memo := newSchedMemo()
+	evalStart := time.Now()
+	var busyNS, completed atomic.Int64
+	defer func() {
+		util := 0.0
+		if wall := time.Since(evalStart); wall > 0 && workers > 0 {
+			util = float64(busyNS.Load()) / (float64(wall.Nanoseconds()) * float64(workers))
+		}
+		reg.Gauge("dse.worker.utilization").Set(util)
+	}()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				sp := root.Child("evaluate")
+				res.Candidates[i], errs[i] = evaluate(ctx, cfg, archs[i], sp, memo)
+				sp.End()
+				busyNS.Add(int64(time.Since(t0)))
+				if errs[i] == nil {
+					if res.Candidates[i].Feasible {
+						reg.Counter("dse.candidates.feasible").Inc()
+					} else {
+						reg.Counter("dse.candidates.infeasible").Inc()
+					}
+				}
+				n := int(completed.Add(1))
+				reg.Emit(obs.Event{
+					Kind:  "candidate",
+					Msg:   candidateEventMsg(archs[i], &res.Candidates[i], errs[i]),
+					N:     n,
+					Total: len(archs),
+				})
+			}
+		}()
+	}
+feed:
+	for i := range archs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return errs
 }
 
 // candidateEventMsg renders one progress-event line for a completed
@@ -422,27 +441,105 @@ func buildArch(width, buses, nALU, nCMP int, rfs []RFSpec, strat tta.AssignStrat
 	return a
 }
 
-// evaluate computes all three axes for one candidate. sp (nil allowed)
-// is the candidate's "evaluate" span; scheduling and gate-level
-// annotation time are recorded under its "sched" and "atpg" children.
-func evaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (Candidate, error) {
-	cand := Candidate{Arch: arch}
+// structEval is the structural (port-assignment-independent) part of a
+// candidate evaluation: the scheduler never reads the port-to-bus
+// assignment (only the bus count), and area, clock and energy depend only
+// on the component mix — so the Assigns variants of one structure share
+// all of it and recompute only CD and hence test cost.
+type structEval struct {
+	feasible bool
+	reason   string
+	cycles   int
+	spills   int
+	area     float64
+	clock    float64
+	energy   float64
+}
 
+// structKey is the structural signature a schedule memo entry is keyed
+// by: width, bus count and the ordered component mix (kinds, ALU adder
+// microarchitecture, register-file shapes) — everything that feeds the
+// structural evaluation, and nothing of the port assignment.
+func structKey(a *tta.Architecture) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w%d/b%d", a.Width, a.Buses)
+	for ci := range a.Components {
+		c := &a.Components[ci]
+		switch c.Kind {
+		case tta.ALU:
+			fmt.Fprintf(&b, "/alu:%s", c.Adder)
+		case tta.RF:
+			fmt.Fprintf(&b, "/rf:%dx%dw%dr", c.NumRegs, c.NumIn, c.NumOut)
+		default:
+			fmt.Fprintf(&b, "/%s", c.Kind)
+		}
+	}
+	return b.String()
+}
+
+// schedMemo shares structural evaluations across the assign-strategy
+// variants of one structure, single-flight per key: the first requester
+// schedules, duplicates block only on their own structure's latch.
+type schedMemo struct {
+	mu sync.Mutex
+	m  map[string]*schedMemoEntry
+}
+
+type schedMemoEntry struct {
+	done chan struct{} // closed once val/err are set
+	val  structEval
+	err  error
+}
+
+func newSchedMemo() *schedMemo {
+	return &schedMemo{m: make(map[string]*schedMemoEntry)}
+}
+
+// get returns the structural evaluation for arch, computing it at most
+// once per structural signature ("dse.sched.memo.hit"/".miss" count the
+// reuse). sp is the requesting candidate's "evaluate" span; only the
+// computing request records "sched"/"atpg" children under it.
+func (m *schedMemo) get(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (structEval, error) {
+	key := structKey(arch)
+	m.mu.Lock()
+	e, ok := m.m[key]
+	if ok {
+		m.mu.Unlock()
+		cfg.Obs.Counter("dse.sched.memo.hit").Inc()
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			return structEval{}, ctx.Err()
+		}
+	}
+	e = &schedMemoEntry{done: make(chan struct{})}
+	m.m[key] = e
+	m.mu.Unlock()
+	cfg.Obs.Counter("dse.sched.memo.miss").Inc()
+	e.val, e.err = evalStructural(ctx, cfg, arch, sp)
+	close(e.done)
+	return e.val, e.err
+}
+
+// evalStructural schedules the kernel and derives area, clock and energy
+// for one structure — the memoized part of evaluate.
+func evalStructural(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (structEval, error) {
 	// Throughput axis: schedule the kernel.
 	schedSp := sp.Child("sched")
 	schedRes, err := sched.ScheduleContext(ctx, cfg.Workload, arch, sched.Options{Obs: cfg.Obs})
 	schedSp.End()
 	if err != nil {
 		if ctx.Err() != nil {
-			return cand, ctx.Err()
+			return structEval{}, ctx.Err()
 		}
-		cand.Feasible = false
-		cand.Reason = err.Error()
-		return cand, nil
+		return structEval{feasible: false, reason: err.Error()}, nil
 	}
-	cand.Feasible = true
-	cand.Cycles = schedRes.Cycles
-	cand.Spills = schedRes.Spills
+	se := structEval{
+		feasible: true,
+		cycles:   schedRes.Cycles,
+		spills:   schedRes.Spills,
+	}
 
 	// Area and clock axes from the gate-level library.
 	atpgSp := sp.Child("atpg")
@@ -452,7 +549,7 @@ func evaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.
 	for ci := range arch.Components {
 		ar, dl, err := cfg.Annotator.AreaDelayContext(ctx, &arch.Components[ci])
 		if err != nil {
-			return cand, err
+			return structEval{}, err
 		}
 		area += ar
 		if dl+cfg.BusDelay > clock {
@@ -461,22 +558,48 @@ func evaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.
 	}
 	inA, outA, err := cfg.Annotator.SocketArea()
 	if err != nil {
-		return cand, err
+		return structEval{}, err
 	}
 	for ci := range arch.Components {
 		c := &arch.Components[ci]
 		area += float64(len(c.InputPorts()))*inA + float64(len(c.OutputPorts()))*outA
 	}
 	area += float64(arch.Buses) * float64(arch.Width) * cfg.BusAreaPerBit
-	cand.Area = area
-	cand.Clock = clock
-	cand.ExecTime = float64(cand.Cycles) * float64(cfg.WorkloadReps) * clock
+	se.area = area
+	se.clock = clock
 	if cfg.EnergyModel != nil {
 		est := cfg.EnergyModel.ScheduleEnergy(schedRes, area)
-		cand.Energy = est.Total * float64(cfg.WorkloadReps)
+		se.energy = est.Total * float64(cfg.WorkloadReps)
 	}
+	return se, nil
+}
 
-	// Test axis: equation (14).
+// evaluate computes all three axes for one candidate. sp (nil allowed)
+// is the candidate's "evaluate" span; scheduling and gate-level
+// annotation time are recorded under its "sched" and "atpg" children.
+// The structural part (cycles, area, clock, energy) comes from the shared
+// memo; only the assignment-dependent test cost is computed per variant.
+func evaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span, memo *schedMemo) (Candidate, error) {
+	cand := Candidate{Arch: arch}
+	se, err := memo.get(ctx, cfg, arch, sp)
+	if err != nil {
+		return cand, err
+	}
+	cand.Feasible = se.feasible
+	cand.Reason = se.reason
+	if !se.feasible {
+		return cand, nil
+	}
+	cand.Cycles = se.cycles
+	cand.Spills = se.spills
+	cand.Area = se.area
+	cand.Clock = se.clock
+	cand.ExecTime = float64(se.cycles) * float64(cfg.WorkloadReps) * se.clock
+	cand.Energy = se.energy
+
+	// Test axis: equation (14) — CD depends on the port assignment, so
+	// this is never memoized across variants (the annotator's own
+	// per-component cache still applies).
 	cost, err := cfg.Annotator.EvaluateContext(ctx, arch)
 	if err != nil {
 		return cand, err

@@ -30,6 +30,13 @@ import (
 	"repro/internal/netlist"
 )
 
+// LibraryKey identifies the generation of the component generators. Any
+// change to the emitted netlists (gate structure, flip-flop counts, area
+// or delay models) must bump it: persisted annotation caches carry the
+// key and are invalidated on mismatch, so stale pattern counts can never
+// leak into a new exploration.
+const LibraryKey = "gatelib/v1"
+
 // Kind identifies a component class of the TTA datapath.
 type Kind uint8
 

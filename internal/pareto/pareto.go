@@ -37,21 +37,82 @@ func Dominates(a, b []float64) bool {
 
 // Front returns the indices (into points) of the non-dominated set, in
 // input order. Duplicate coordinate vectors are all kept.
+//
+// Points are presorted lexicographically (first dimension as the primary
+// key, stable), which restricts the domination scan: a point can only be
+// dominated by points preceding it in that order, so each point compares
+// against its sorted prefix instead of the whole set, already-dominated
+// prefix members are skipped (domination is transitive, and a dominator
+// always sorts earlier), and runs of duplicate coordinate vectors decide
+// their status once and share it.
 func Front(points []Point) []int {
-	var out []int
-	for i := range points {
-		dominated := false
-		for j := range points {
-			if i != j && Dominates(points[j].Coords, points[i].Coords) {
-				dominated = true
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return lexLess(points[order[a]].Coords, points[order[b]].Coords)
+	})
+	dominated := make([]bool, n)
+	for pos, i := range order {
+		if pos > 0 {
+			prev := order[pos-1]
+			// Equal vectors never dominate each other, so the first of a
+			// duplicate run answers for the whole run.
+			if equalCoords(points[prev].Coords, points[i].Coords) {
+				dominated[i] = dominated[prev]
+				continue
+			}
+		}
+		for _, j := range order[:pos] {
+			if dominated[j] {
+				continue
+			}
+			if Dominates(points[j].Coords, points[i].Coords) {
+				dominated[i] = true
 				break
 			}
 		}
-		if !dominated {
+	}
+	var out []int
+	for i := range points {
+		if !dominated[i] {
 			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// lexLess orders coordinate vectors lexicographically; a shorter vector
+// that is a prefix of a longer one sorts first.
+func lexLess(a, b []float64) bool {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	for d := 0; d < m; d++ {
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// equalCoords reports exact coordinate-vector equality.
+func equalCoords(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if a[d] != b[d] {
+			return false
+		}
+	}
+	return true
 }
 
 // Project drops all but the listed dimensions from each point.

@@ -185,6 +185,86 @@ func TestSortByDim(t *testing.T) {
 	}
 }
 
+// naiveFront is the reference O(n²) all-pairs implementation Front was
+// optimized from; the property test below pins the two to identical
+// output (members and order) on adversarial inputs.
+func naiveFront(points []Point) []int {
+	var out []int
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i != j && Dominates(points[j].Coords, points[i].Coords) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestFrontMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		dims := 1 + rng.Intn(4)
+		// A tiny value alphabet forces heavy first-dimension ties and
+		// exact duplicate vectors — the cases the presort and the
+		// duplicate-run fast path must get right.
+		vals := 1 + rng.Intn(4)
+		p := make([]Point, n)
+		for i := range p {
+			c := make([]float64, dims)
+			for d := range c {
+				c[d] = float64(rng.Intn(vals))
+			}
+			p[i] = Point{ID: i, Coords: c}
+		}
+		got, want := Front(p), naiveFront(p)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontAllDuplicates(t *testing.T) {
+	// Identical vectors never dominate each other: all are kept, in input
+	// order, and the duplicate-run fast path must not loop over them.
+	var p []Point
+	for i := 0; i < 50; i++ {
+		p = append(p, Point{ID: i, Coords: []float64{2, 3}})
+	}
+	f := Front(p)
+	if len(f) != 50 {
+		t.Fatalf("front size %d, want all 50 duplicates", len(f))
+	}
+	for k, i := range f {
+		if i != k {
+			t.Fatalf("front order broken at %d: %v", k, f)
+		}
+	}
+}
+
+func TestFrontEmptyAndSingle(t *testing.T) {
+	if f := Front(nil); f != nil {
+		t.Fatalf("empty input: %v", f)
+	}
+	if f := Front(pts([]float64{1, 2})); len(f) != 1 || f[0] != 0 {
+		t.Fatalf("single point: %v", f)
+	}
+}
+
 func TestFrontProjectionRelationship(t *testing.T) {
 	// The key structural fact behind the paper's figure 8: lifting points
 	// into a higher dimension can only grow the front, never lose a

@@ -1,0 +1,174 @@
+// Warm-start annotation cache: the annotator's back-annotated pattern
+// counts persisted as versioned JSON, so a repeated exploration over the
+// same library generation, width and seed skips every gate-level ATPG run
+// (component and socket alike) and goes straight to the cost model.
+//
+// The file is keyed by everything that determines an annotation's value:
+// the cache format version, the gate-level library generation
+// (gatelib.LibraryKey), the data-path width, the ATPG seed and the march
+// algorithm. A header mismatch invalidates the whole file — Load reports
+// it as a *CacheMismatchError and leaves the annotator cold, never mixing
+// stale entries into a fresh run.
+package testcost
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gatelib"
+)
+
+// CacheFormatVersion is the on-disk format version. Bump it whenever the
+// entry layout or the meaning of a field changes.
+const CacheFormatVersion = 1
+
+// cacheFile is the serialized form of an annotator's cache.
+type cacheFile struct {
+	Version int    `json:"version"`
+	Library string `json:"library"`
+	Width   int    `json:"width"`
+	Seed    int64  `json:"seed"`
+	March   string `json:"march"`
+
+	// Sockets carries the socket-library annotations (input, output) so a
+	// warm start skips the lazy socket ATPG too.
+	Sockets *socketCache `json:"sockets,omitempty"`
+
+	// Entries maps annotation-cache keys (e.g. "alu/16/ripple") to their
+	// back-annotated values.
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// cacheEntry is one persisted annotation.
+type cacheEntry struct {
+	NP       int     `json:"np"`
+	NL       int     `json:"nl"`
+	Coverage float64 `json:"coverage"`
+	ScanNP   int     `json:"scan_np"`
+	Area     float64 `json:"area"`
+	Delay    float64 `json:"delay"`
+}
+
+// socketCache persists the two socket annotations.
+type socketCache struct {
+	In  cacheEntry `json:"in"`
+	Out cacheEntry `json:"out"`
+}
+
+func toEntry(an annotation) cacheEntry {
+	return cacheEntry{NP: an.np, NL: an.nl, Coverage: an.coverage, ScanNP: an.scanNP, Area: an.area, Delay: an.delay}
+}
+
+func fromEntry(e cacheEntry) annotation {
+	return annotation{np: e.NP, nl: e.NL, coverage: e.Coverage, scanNP: e.ScanNP, area: e.Area, delay: e.Delay}
+}
+
+// CacheMismatchError reports a structurally valid cache file whose header
+// does not match the loading annotator — a stale or foreign cache. The
+// annotator is left unchanged; callers typically warn and start cold.
+type CacheMismatchError struct {
+	Field string // header field that differs
+	Want  string // the annotator's value
+	Got   string // the file's value
+}
+
+func (e *CacheMismatchError) Error() string {
+	return fmt.Sprintf("testcost: annotation cache %s mismatch: file has %s, annotator wants %s", e.Field, e.Got, e.Want)
+}
+
+// Save serializes the annotator's annotation cache (socket annotations
+// included — they are forced if not yet computed) as versioned JSON. Call
+// it after the evaluations sharing the annotator have finished; Save must
+// not run concurrently with Load.
+func (a *Annotator) Save(w io.Writer) error {
+	if err := a.sockets(); err != nil {
+		return err
+	}
+	f := cacheFile{
+		Version: CacheFormatVersion,
+		Library: gatelib.LibraryKey,
+		Width:   a.Width,
+		Seed:    a.Seed,
+		March:   a.March.String(),
+		Sockets: &socketCache{In: toEntry(a.sockIn), Out: toEntry(a.sockOut)},
+		Entries: make(map[string]cacheEntry),
+	}
+	a.mu.Lock()
+	for k, an := range a.cache {
+		f.Entries[k] = toEntry(an)
+	}
+	a.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&f) // map keys marshal sorted: the output is deterministic
+}
+
+// Load populates the annotation cache from a warm-start file written by
+// Save. On a header mismatch (format version, library generation, width,
+// seed or march algorithm) it returns a *CacheMismatchError and changes
+// nothing. Entries merge into the live cache without overwriting existing
+// keys. Call Load before sharing the annotator across goroutines.
+func (a *Annotator) Load(r io.Reader) error {
+	var f cacheFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("testcost: decoding annotation cache: %w", err)
+	}
+	for _, m := range []struct{ field, want, got string }{
+		{"format version", fmt.Sprint(CacheFormatVersion), fmt.Sprint(f.Version)},
+		{"library key", gatelib.LibraryKey, f.Library},
+		{"width", fmt.Sprint(a.Width), fmt.Sprint(f.Width)},
+		{"seed", fmt.Sprint(a.Seed), fmt.Sprint(f.Seed)},
+		{"march algorithm", a.March.String(), f.March},
+	} {
+		if m.want != m.got {
+			return &CacheMismatchError{Field: m.field, Want: m.want, Got: m.got}
+		}
+	}
+	loaded := 0
+	a.mu.Lock()
+	for k, e := range f.Entries {
+		if _, ok := a.cache[k]; !ok {
+			a.cache[k] = fromEntry(e)
+			loaded++
+		}
+	}
+	a.mu.Unlock()
+	if f.Sockets != nil && !a.sockDone {
+		a.sockIn = fromEntry(f.Sockets.In)
+		a.sockOut = fromEntry(f.Sockets.Out)
+		a.sockNP = a.sockIn.np
+		if a.sockOut.np > a.sockNP {
+			a.sockNP = a.sockOut.np
+		}
+		a.sockWarm = true
+	}
+	a.Obs.Counter("testcost.cache.loaded").Add(int64(loaded))
+	return nil
+}
+
+// SaveFile writes the cache to path (see Save).
+func (a *Annotator) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a warm-start cache from path (see Load). A missing file
+// is reported via the usual fs.ErrNotExist wrapping, so callers can treat
+// it as an ordinary cold start.
+func (a *Annotator) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.Load(f)
+}

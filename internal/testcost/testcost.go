@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/gatelib"
@@ -81,48 +82,111 @@ type annotation struct {
 
 // Annotator back-annotates pattern counts from the gate-level library and
 // evaluates the cost model for candidate architectures. It is safe for
-// concurrent use.
+// concurrent use: annotation-cache misses run their gate-level ATPG
+// outside the annotator's lock, single-flight per key — distinct
+// components annotate concurrently, while duplicate requests for a key
+// already being annotated block only on that key's in-flight run.
 type Annotator struct {
 	Lib   *gatelib.Library
 	Width int
 	Seed  int64
 	March march.Test
 
-	// Obs, when non-nil, receives annotation-cache hit/miss counters
-	// ("testcost.cache.hit"/"testcost.cache.miss") and is forwarded to
-	// the ATPG runs behind cache misses. Set it before sharing the
-	// annotator across goroutines.
+	// Obs, when non-nil, receives annotation-cache counters —
+	// "testcost.cache.hit" (served from the completed cache),
+	// "testcost.cache.miss" (ran ATPG; exactly one per distinct key),
+	// "testcost.cache.inflight" (coalesced onto another goroutine's
+	// in-flight run) and "testcost.cache.wait_ns" (nanoseconds spent
+	// waiting on in-flight runs) — and is forwarded to the ATPG runs
+	// behind cache misses. Set it before sharing the annotator across
+	// goroutines.
 	Obs *obs.Registry
 
-	mu    sync.Mutex
-	cache map[string]annotation
+	mu       sync.Mutex
+	cache    map[string]annotation
+	inflight map[string]*inflightRun
 
-	sockIn  annotation
-	sockOut annotation
-	sockNP  int
-	once    sync.Once
-	sockErr error
+	sockIn   annotation
+	sockOut  annotation
+	sockNP   int
+	sockDone bool
+	sockWarm bool // socket annotations were loaded from a warm-start cache
+	once     sync.Once
+	sockErr  error
+}
+
+// inflightRun is the latch duplicate requests for one key wait on while
+// the first requester runs the ATPG.
+type inflightRun struct {
+	done chan struct{} // closed once an/err are set
+	an   annotation
+	err  error
 }
 
 // NewAnnotator builds an annotator over a fresh component library.
 func NewAnnotator(width int, seed int64) *Annotator {
 	return &Annotator{
-		Lib:   gatelib.NewLibrary(),
-		Width: width,
-		Seed:  seed,
-		March: march.MarchCMinus,
-		cache: make(map[string]annotation),
+		Lib:      gatelib.NewLibrary(),
+		Width:    width,
+		Seed:     seed,
+		March:    march.MarchCMinus,
+		cache:    make(map[string]annotation),
+		inflight: make(map[string]*inflightRun),
 	}
 }
 
 func (a *Annotator) annotate(ctx context.Context, key string, gen func() (*gatelib.Component, error)) (annotation, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if an, ok := a.cache[key]; ok {
-		a.Obs.Counter("testcost.cache.hit").Inc()
-		return an, nil
+	for {
+		a.mu.Lock()
+		if an, ok := a.cache[key]; ok {
+			a.mu.Unlock()
+			a.Obs.Counter("testcost.cache.hit").Inc()
+			return an, nil
+		}
+		run, ok := a.inflight[key]
+		if !ok {
+			// This request leads: register the latch, then run the ATPG
+			// outside the lock so other keys proceed concurrently.
+			run = &inflightRun{done: make(chan struct{})}
+			a.inflight[key] = run
+			a.mu.Unlock()
+			a.Obs.Counter("testcost.cache.miss").Inc()
+			run.an, run.err = a.runAnnotation(ctx, gen)
+			a.mu.Lock()
+			if run.err == nil {
+				a.cache[key] = run.an
+			}
+			delete(a.inflight, key)
+			a.mu.Unlock()
+			close(run.done)
+			return run.an, run.err
+		}
+		a.mu.Unlock()
+		// Duplicate request: latch onto the in-flight run for this key.
+		a.Obs.Counter("testcost.cache.inflight").Inc()
+		wait := time.Now()
+		select {
+		case <-run.done:
+			a.Obs.Counter("testcost.cache.wait_ns").Add(time.Since(wait).Nanoseconds())
+			if run.err == nil {
+				return run.an, nil
+			}
+			// The run this request latched onto failed — possibly with the
+			// leader's context error. Retry: the failed entry is gone, so
+			// this request either leads the retry or observes a fresh one.
+			if ctx.Err() != nil {
+				return annotation{}, ctx.Err()
+			}
+		case <-ctx.Done():
+			a.Obs.Counter("testcost.cache.wait_ns").Add(time.Since(wait).Nanoseconds())
+			return annotation{}, ctx.Err()
+		}
 	}
-	a.Obs.Counter("testcost.cache.miss").Inc()
+}
+
+// runAnnotation generates the component and runs the gate-level ATPG — the
+// expensive part of a cache miss, executed without holding the lock.
+func (a *Annotator) runAnnotation(ctx context.Context, gen func() (*gatelib.Component, error)) (annotation, error) {
 	comp, err := gen()
 	if err != nil {
 		return annotation{}, err
@@ -131,21 +195,24 @@ func (a *Annotator) annotate(ctx context.Context, key string, gen func() (*gatel
 	if err != nil {
 		return annotation{}, err
 	}
-	an := annotation{
+	return annotation{
 		np:       res.NumPatterns(),
 		nl:       comp.SeqFFs(),
 		coverage: res.Coverage(),
 		scanNP:   res.NumPatterns(),
 		area:     comp.Seq.Area(),
 		delay:    comp.Seq.CriticalPath(),
-	}
-	a.cache[key] = an
-	return an, nil
+	}, nil
 }
 
-// sockets lazily annotates the socket library elements.
+// sockets lazily annotates the socket library elements (skipping the ATPG
+// when a warm-start cache supplied them).
 func (a *Annotator) sockets() error {
 	a.once.Do(func() {
+		if a.sockWarm {
+			a.sockDone = true
+			return
+		}
 		in, err := a.Lib.InputSocket(SocketIDBits)
 		if err != nil {
 			a.sockErr = err
@@ -156,14 +223,15 @@ func (a *Annotator) sockets() error {
 			a.sockErr = err
 			return
 		}
-		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed})
-		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed})
+		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed, Obs: a.Obs})
+		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed, Obs: a.Obs})
 		a.sockIn = annotation{np: resIn.NumPatterns(), nl: in.SeqFFs(), coverage: resIn.Coverage()}
 		a.sockOut = annotation{np: resOut.NumPatterns(), nl: out.SeqFFs(), coverage: resOut.Coverage()}
 		a.sockNP = resIn.NumPatterns()
 		if resOut.NumPatterns() > a.sockNP {
 			a.sockNP = resOut.NumPatterns()
 		}
+		a.sockDone = true
 	})
 	return a.sockErr
 }
