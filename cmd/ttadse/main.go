@@ -59,6 +59,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
 	progress := flag.Bool("progress", false, "stream candidate-completion events to stderr")
 	timeout := flag.Duration("timeout", 0, "cancel the exploration after this duration (0 = none)")
+	atpgWorkers := flag.Int("atpg-workers", 0, "workers inside each gate-level ATPG run (0 = split the core budget with the DSE parallelism; results are identical at any setting)")
 	flag.Parse()
 
 	cfg, err := dse.DefaultConfig()
@@ -86,6 +87,10 @@ func main() {
 	if err := setWorkload(&cfg, *workload); err != nil {
 		log.Fatal(err)
 	}
+	if *atpgWorkers < 0 {
+		log.Fatalf("-atpg-workers %d is negative (use 0 for the automatic core-budget split)", *atpgWorkers)
+	}
+	cfg.ATPGWorkers = *atpgWorkers
 
 	var reg *obs.Registry
 	if *metrics != "" || *progress {

@@ -33,14 +33,18 @@ type Config struct {
 	// SCOAPGuidance steers PODEM's input choices by controllability cost
 	// (the testability-measure ablation of DESIGN.md).
 	SCOAPGuidance bool
-	// Workers bounds the fault-simulation parallelism of the random and
-	// compaction phases (0 = GOMAXPROCS, 1 = serial). Results are
-	// identical at any setting: faults are partitioned disjointly and the
-	// per-fault decisions are independent.
+	// Workers bounds the parallelism of every phase: fault simulation in
+	// the random and compaction phases, and speculative PODEM generation
+	// in the deterministic phase (0 = GOMAXPROCS, 1 = serial). Results
+	// are identical at any setting: fault-simulation work is partitioned
+	// disjointly, and speculative PODEM candidates are merged by a
+	// single-threaded pass in canonical fault order, so the output is a
+	// function of (netlist, seed, config) only.
 	Workers int
 	// Obs, when non-nil, receives ATPG metrics: PODEM decisions and
-	// backtracks, fault-simulation blocks, pattern and fault counts
-	// (counters "atpg.*"). A nil registry costs nothing.
+	// backtracks, fault-simulation blocks and lane utilization, shard and
+	// merge statistics, pattern and fault counts (counters "atpg.*",
+	// gauge "atpg.faultsim.lane_util"). A nil registry costs nothing.
 	Obs *obs.Registry
 }
 
@@ -55,6 +59,14 @@ func (c Config) withDefaults() Config {
 		c.BacktrackLimit = 4000
 	}
 	return c
+}
+
+// workerCount resolves the configured worker budget.
+func (c Config) workerCount() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // Result reports the outcome of an ATPG run. NumPatterns is the paper's
@@ -104,6 +116,48 @@ func (r *Result) String() string {
 		r.Netlist.Name, r.NumPatterns(), r.TotalFaults, r.Detected, r.Redundant, r.Aborted, 100*r.Coverage())
 }
 
+// runMetrics accumulates observability tallies as plain fields so the hot
+// loops never touch the registry (Registry.Counter takes a mutex and a map
+// lookup per call). All fields are bumped from the phase-driver goroutine
+// only and flushed to the registry once per run.
+type runMetrics struct {
+	blocks int64 // 64-lane fault-simulation blocks evaluated
+	lanes  int64 // lanes across those blocks that carried real patterns
+
+	shards    int64 // PODEM shard workers launched
+	merged    int64 // PODEM candidates consumed by the merge pass
+	discarded int64 // speculative candidates dropped (target already covered)
+
+	decisions  int64 // PODEM decisions across all engines
+	backtracks int64 // PODEM backtracks across all engines
+}
+
+// flush publishes the tallies. Lane utilization is lanes/(64*blocks): 1.0
+// means every simulated block was fully saturated.
+func (m *runMetrics) flush(r *obs.Registry, res *Result) {
+	if r == nil {
+		return
+	}
+	r.Counter("atpg.runs").Inc()
+	r.Counter("atpg.faults.total").Add(int64(res.TotalFaults))
+	r.Counter("atpg.faults.detected").Add(int64(res.Detected))
+	r.Counter("atpg.faults.redundant").Add(int64(res.Redundant))
+	r.Counter("atpg.faults.aborted").Add(int64(res.Aborted))
+	r.Counter("atpg.patterns.random").Add(int64(res.RandomDetected))
+	r.Counter("atpg.patterns.podem").Add(int64(res.PodemPatterns))
+	r.Counter("atpg.patterns.final").Add(int64(len(res.Patterns)))
+	r.Counter("atpg.podem.decisions").Add(m.decisions)
+	r.Counter("atpg.podem.backtracks").Add(m.backtracks)
+	r.Counter("atpg.podem.shards").Add(m.shards)
+	r.Counter("atpg.podem.merged").Add(m.merged)
+	r.Counter("atpg.podem.discarded").Add(m.discarded)
+	r.Counter("atpg.faultsim.blocks").Add(m.blocks)
+	r.Counter("atpg.faultsim.lanes").Add(m.lanes)
+	if m.blocks > 0 {
+		r.Gauge("atpg.faultsim.lane_util").Set(float64(m.lanes) / float64(64*m.blocks))
+	}
+}
+
 // Run executes the full ATPG flow on the netlist (full-scan view):
 // a seeded random-pattern phase with fault dropping, deterministic PODEM
 // top-up for the remaining faults, and reverse-order static compaction.
@@ -121,72 +175,24 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 	u := NewUniverse(n)
 	sim := NewSimulator(n)
 	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
+	m := &runMetrics{}
+	defer m.flush(cfg.Obs, res)
 
 	detected := make([]bool, len(u.Faults))
 	var patterns []Pattern
 
 	if cfg.MaxRandomPatterns > 0 {
-		patterns = randomPhase(ctx, sim, u, cfg, rng, detected, res)
+		patterns = randomPhase(ctx, sim, u, cfg, rng, detected, res, m)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
 
-	var eng *podem
-	defer func() {
-		if r := cfg.Obs; r != nil {
-			r.Counter("atpg.runs").Inc()
-			r.Counter("atpg.faults.total").Add(int64(res.TotalFaults))
-			r.Counter("atpg.faults.detected").Add(int64(res.Detected))
-			r.Counter("atpg.faults.redundant").Add(int64(res.Redundant))
-			r.Counter("atpg.faults.aborted").Add(int64(res.Aborted))
-			r.Counter("atpg.patterns.random").Add(int64(res.RandomDetected))
-			r.Counter("atpg.patterns.podem").Add(int64(res.PodemPatterns))
-			r.Counter("atpg.patterns.final").Add(int64(len(res.Patterns)))
-			if eng != nil {
-				r.Counter("atpg.podem.decisions").Add(eng.totalDecisions)
-				r.Counter("atpg.podem.backtracks").Add(eng.totalBacktracks)
-			}
-		}
-	}()
-
 	if !cfg.SkipPODEM {
-		eng = newPodem(sim, cfg.BacktrackLimit)
-		if cfg.SCOAPGuidance {
-			eng.scoap = ComputeScoap(n)
-		}
-		for fi := range u.Faults {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if detected[fi] {
-				continue
-			}
-			asg, outcome := eng.generate(u.Faults[fi])
-			switch outcome {
-			case podemRedundant:
-				res.Redundant++
-			case podemAborted:
-				res.Aborted++
-			case podemFound:
-				pat := fillPattern(asg, rng)
-				patterns = append(patterns, pat)
-				res.PodemPatterns++
-				// Fault-drop the new pattern against all remaining faults.
-				sim.LoadBlock([]Pattern{pat})
-				for fj := fi; fj < len(u.Faults); fj++ {
-					if !detected[fj] && sim.Detects(u.Faults[fj]) != 0 {
-						detected[fj] = true
-						res.Detected++
-					}
-				}
-				if !detected[fi] {
-					// The generated pattern must detect its target; if it
-					// does not, the engine is inconsistent for this fault —
-					// count it as aborted rather than overstating coverage.
-					res.Aborted++
-				}
-			}
+		var err error
+		patterns, err = podemTopUp(ctx, sim, u, cfg, rng, detected, res, patterns, m)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -194,8 +200,247 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 		res.Patterns = patterns
 		return res, nil
 	}
-	res.Patterns = compactReverse(sim, u, patterns, detected, cfg.Workers)
+	res.Patterns = compactReverse(sim, u, patterns, detected, cfg.Workers, m)
 	return res, nil
+}
+
+// podemCandidate is a speculatively generated PODEM outcome for one fault.
+type podemCandidate struct {
+	asg     []v3
+	outcome podemOutcome
+	ok      bool
+}
+
+// podemTopUp runs the deterministic phase. Generation is sharded: the
+// faults still undetected after the random phase are partitioned
+// round-robin across Workers goroutines, each with a private podem engine
+// and Simulator, which speculatively generate a candidate per fault. A
+// single-threaded merge pass then walks the fault universe in canonical
+// index order: a candidate whose target was covered by an earlier-merged
+// pattern is discarded, everything else is accepted exactly as the serial
+// algorithm would have — so the output is byte-identical for Workers=1
+// and Workers=N (generate is a pure function of the fault: the engine
+// resets its assignment, cone and implication state on every call, and
+// the don't-care fill consumes the rng only at accept time, in fault
+// order).
+//
+// Accepted patterns are fault-dropped in 64-lane batches by a
+// batchDropper instead of one LoadBlock per pattern.
+func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, patterns []Pattern, m *runMetrics) ([]Pattern, error) {
+	workers := cfg.workerCount()
+	m.shards += int64(workers)
+
+	var scoap *Scoap
+	if cfg.SCOAPGuidance {
+		scoap = ComputeScoap(u.N)
+	}
+
+	// Candidate source: speculative shards when parallel, on-demand
+	// generation (the serial algorithm, verbatim) otherwise.
+	var cands []podemCandidate
+	var engines []*podem
+	if workers > 1 {
+		cands, engines = shardedCandidates(ctx, u, cfg, detected, workers, scoap)
+	} else {
+		eng := newPodem(sim, cfg.BacktrackLimit)
+		eng.scoap = scoap
+		engines = []*podem{eng}
+	}
+	defer func() {
+		for _, eng := range engines {
+			m.decisions += eng.totalDecisions
+			m.backtracks += eng.totalBacktracks
+		}
+	}()
+
+	drop := newBatchDropper(sim, u, detected, res, m)
+	for fi := range u.Faults {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if detected[fi] {
+			// Already covered by the random phase or a flushed block; a
+			// speculative candidate for it was wasted work.
+			if cands != nil && cands[fi].ok {
+				m.discarded++
+			}
+			continue
+		}
+		if drop.covers(fi) {
+			// Covered by a pending (not yet flushed) pattern.
+			detected[fi] = true
+			res.Detected++
+			if cands != nil && cands[fi].ok {
+				m.discarded++
+			}
+			continue
+		}
+		var asg []v3
+		var outcome podemOutcome
+		if cands != nil {
+			// The ctx poll above ran after the worker wrote this entry:
+			// workers only skip faults once ctx is cancelled, and ctx
+			// errors are monotone, so a missing candidate is unreachable
+			// here.
+			asg, outcome = cands[fi].asg, cands[fi].outcome
+		} else {
+			asg, outcome = engines[0].generate(u.Faults[fi])
+		}
+		m.merged++
+		switch outcome {
+		case podemRedundant:
+			res.Redundant++
+		case podemAborted:
+			res.Aborted++
+		case podemFound:
+			pat := fillPattern(asg, rng)
+			patterns = append(patterns, pat)
+			res.PodemPatterns++
+			drop.add(pat, fi)
+			if drop.full() {
+				drop.flush(fi + 1)
+			}
+		}
+	}
+	drop.flush(len(u.Faults))
+	return patterns, nil
+}
+
+// shardedCandidates launches the speculative generation workers and waits
+// for them. Each worker owns a private Simulator and podem engine; the
+// SCOAP table is shared (read-only during generation). Faults are dealt
+// round-robin for load balance; the partition does not affect the output
+// because the merge pass re-serializes in fault order.
+func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []bool, workers int, scoap *Scoap) ([]podemCandidate, []*podem) {
+	var work []int32
+	for fi := range u.Faults {
+		if !detected[fi] {
+			work = append(work, int32(fi))
+		}
+	}
+	cands := make([]podemCandidate, len(u.Faults))
+	engines := make([]*podem, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		eng := newPodem(NewSimulator(u.N), cfg.BacktrackLimit)
+		eng.scoap = scoap
+		engines[w] = eng
+		wg.Add(1)
+		go func(w int, eng *podem) {
+			defer wg.Done()
+			for i := w; i < len(work); i += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				fi := work[i]
+				asg, outcome := eng.generate(u.Faults[fi])
+				cands[fi] = podemCandidate{asg: asg, outcome: outcome, ok: true}
+			}
+		}(w, eng)
+	}
+	wg.Wait()
+	return cands, engines
+}
+
+// batchDropper accumulates accepted PODEM patterns into up-to-64-lane
+// blocks and fault-drops whole blocks at once, replacing the serial
+// algorithm's one-pattern LoadBlock per accepted pattern.
+//
+// The serial algorithm drops each new pattern against every fault at or
+// beyond its target, immediately. The batched replay preserves those
+// decisions exactly:
+//
+//   - a fault reaching its merge slot is checked against all pending
+//     lanes (covers) — the same "was it dropped by an earlier pattern"
+//     test the serial loop answers with detected[fi];
+//   - at flush, each lane's target is checked on its own lane only: by
+//     construction no earlier pending lane detects it (covers ruled that
+//     out when the target was accepted) and serial drops are
+//     forward-only, so later patterns never reach an earlier target;
+//   - the flush tail then drops every fault beyond the merge position
+//     against all lanes — faults between a lane's target and the merge
+//     position were already screened by covers at their own slots.
+type batchDropper struct {
+	sim      *Simulator
+	u        *Universe
+	detected []bool
+	res      *Result
+	m        *runMetrics
+
+	pending []Pattern
+	targets []int32 // pending[k] was generated for fault targets[k]
+	loaded  bool    // sim currently holds the pending block
+}
+
+func newBatchDropper(sim *Simulator, u *Universe, detected []bool, res *Result, m *runMetrics) *batchDropper {
+	return &batchDropper{
+		sim:      sim,
+		u:        u,
+		detected: detected,
+		res:      res,
+		m:        m,
+		pending:  make([]Pattern, 0, 64),
+		targets:  make([]int32, 0, 64),
+	}
+}
+
+func (d *batchDropper) full() bool { return len(d.pending) == 64 }
+
+// add accepts a pattern generated for fault fi into the next free lane.
+func (d *batchDropper) add(pat Pattern, fi int) {
+	d.pending = append(d.pending, pat)
+	d.targets = append(d.targets, int32(fi))
+	d.loaded = false
+}
+
+// covers reports whether any pending pattern detects the fault.
+func (d *batchDropper) covers(fi int) bool {
+	if len(d.pending) == 0 {
+		return false
+	}
+	d.load()
+	return d.sim.Detects(d.u.Faults[fi]) != 0
+}
+
+func (d *batchDropper) load() {
+	if d.loaded {
+		return
+	}
+	d.sim.LoadBlock(d.pending)
+	d.loaded = true
+}
+
+// flush settles the pending block: credits each lane's own target (a
+// pattern that misses its target is counted aborted, exactly like the
+// serial self-check), drops every fault at or beyond the merge position
+// pos, and clears the block.
+func (d *batchDropper) flush(pos int) {
+	if len(d.pending) == 0 {
+		return
+	}
+	d.load()
+	d.m.blocks++
+	d.m.lanes += int64(len(d.pending))
+	for k, t := range d.targets {
+		if d.sim.Detects(d.u.Faults[t])&(1<<uint(k)) != 0 {
+			d.detected[t] = true
+			d.res.Detected++
+		} else {
+			// The generated pattern must detect its target; if it does
+			// not, the engine is inconsistent for this fault — count it
+			// as aborted rather than overstating coverage.
+			d.res.Aborted++
+		}
+	}
+	for fj := pos; fj < len(d.u.Faults); fj++ {
+		if !d.detected[fj] && d.sim.Detects(d.u.Faults[fj]) != 0 {
+			d.detected[fj] = true
+			d.res.Detected++
+		}
+	}
+	d.pending = d.pending[:0]
+	d.targets = d.targets[:0]
+	d.loaded = false
 }
 
 // simPool owns one Simulator per worker for parallel serial-fault
@@ -253,25 +498,30 @@ func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(sim *Simulator,
 }
 
 // randomPhase applies seeded random blocks with fault dropping and returns
-// the patterns that were first detectors of at least one fault.
-func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result) []Pattern {
+// the patterns that were first detectors of at least one fault. The block
+// and its 64 pattern buffers are allocated once and refilled per
+// iteration; kept patterns are cloned out of the reused buffers.
+func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, m *runMetrics) []Pattern {
 	pool := newSimPool(sim.n, cfg.Workers)
 	var kept []Pattern
 	dry := 0
 	total := 0
 	laneOf := make([]int8, len(u.Faults))
+	block := make([]Pattern, 64)
+	for k := range block {
+		block[k] = make(Pattern, sim.NumControls())
+	}
 	for total < cfg.MaxRandomPatterns && dry < cfg.RandomDryBlocks {
 		if ctx.Err() != nil {
 			return kept
 		}
-		cfg.Obs.Counter("atpg.faultsim.blocks").Inc()
-		block := make([]Pattern, 64)
+		m.blocks++
+		m.lanes += int64(len(block))
 		for k := range block {
-			p := make(Pattern, sim.NumControls())
+			p := block[k]
 			for i := range p {
 				p[i] = uint8(rng.Intn(2))
 			}
-			block[k] = p
 		}
 		total += len(block)
 		for i := range laneOf {
@@ -311,7 +561,7 @@ func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, r
 		dry = 0
 		for k := range block {
 			if laneUseful>>uint(k)&1 == 1 {
-				kept = append(kept, block[k])
+				kept = append(kept, block[k].Clone())
 			}
 		}
 	}
@@ -336,9 +586,9 @@ func fillPattern(asg []v3, rng *rand.Rand) Pattern {
 }
 
 // compactReverse performs reverse-order static compaction: patterns are
-// re-fault-simulated from last to first and kept only if they are the
-// first (in that order) to detect some fault.
-func compactReverse(sim *Simulator, u *Universe, patterns []Pattern, detected []bool, workers int) []Pattern {
+// re-fault-simulated from last to first, 64 lanes per block, and kept
+// only if they are the first (in that order) to detect some fault.
+func compactReverse(sim *Simulator, u *Universe, patterns []Pattern, detected []bool, workers int, m *runMetrics) []Pattern {
 	if len(patterns) == 0 {
 		return patterns
 	}
@@ -356,6 +606,8 @@ func compactReverse(sim *Simulator, u *Universe, patterns []Pattern, detected []
 			end = len(reversed)
 		}
 		block := reversed[start:end]
+		m.blocks++
+		m.lanes += int64(len(block))
 		for i := range laneOf {
 			laneOf[i] = -1
 		}

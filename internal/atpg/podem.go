@@ -38,6 +38,27 @@ type podem struct {
 	frontier []int32
 	xVisited []bool
 	xStack   []int32
+	xTouched []int32
+
+	// Reusable decision stack (one entry per live assignment).
+	stack []decision
+
+	// Static fanout cone of the current fault site (topo-sorted, fault
+	// gate first): the only region where a fault effect can live, so the
+	// frontier scan and the test-found check walk it instead of the whole
+	// netlist. Rebuilt once per generate call.
+	cone    []int32
+	coneObs []netlist.Net // observable nets inside the cone
+
+	// Scratch for incremental implication: per-level pending buckets and
+	// their membership marks. Every fanout edge ends at a strictly higher
+	// logic level, so draining the buckets level by level visits gates in
+	// a valid topological order with O(1) enqueue and dequeue; gates on
+	// the same level never feed each other, so intra-level order cannot
+	// affect the fixpoint.
+	levelOf []int32   // gate -> logic level (longest path from a control)
+	buckets [][]int32 // pending gates per level
+	inQ     []bool
 }
 
 type decision struct {
@@ -64,6 +85,35 @@ func newPodem(sim *Simulator, limit int) *podem {
 		p.ctrlOf[net] = int32(ci)
 	}
 	p.xVisited = make([]bool, len(n.Gates))
+	p.inQ = make([]bool, len(n.Gates))
+	p.levelOf = make([]int32, len(n.Gates))
+	maxLevel := int32(0)
+	for _, gi := range n.TopoOrder() {
+		g := &n.Gates[gi]
+		lvl := int32(0)
+		for _, in := range g.In {
+			if d := n.Driver(in); d.Kind == netlist.DriverGate {
+				if dl := p.levelOf[d.Index] + 1; dl > lvl {
+					lvl = dl
+				}
+			}
+		}
+		p.levelOf[gi] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	p.buckets = make([][]int32, maxLevel+1)
+	// Establish the fault-free all-X fixpoint; generate maintains it
+	// incrementally from here on (fault.Gate == -1 means "no injection" —
+	// real gate indices are non-negative).
+	p.fault = Fault{Gate: -1}
+	for i := range p.vals {
+		p.vals[i] = vvX
+	}
+	for _, gi := range n.TopoOrder() {
+		p.vals[n.Gates[gi].Out] = p.evalFaultGate(gi)
+	}
 	return p
 }
 
@@ -74,13 +124,8 @@ func newPodem(sim *Simulator, limit int) *podem {
 func (p *podem) xPathExists() bool {
 	stack := p.xStack[:0]
 	visited := p.xVisited
-	var touched []int32
-	defer func() {
-		for _, gi := range touched {
-			visited[gi] = false
-		}
-		p.xStack = stack[:0]
-	}()
+	touched := p.xTouched[:0]
+	found := false
 	// A frontier gate's own output is a candidate origin (it is X).
 	for _, gi := range p.frontier {
 		if !visited[gi] {
@@ -94,7 +139,8 @@ func (p *podem) xPathExists() bool {
 		stack = stack[:len(stack)-1]
 		out := p.n.Gates[gi].Out
 		if len(p.sim.obsOfNet[out]) > 0 {
-			return true
+			found = true
+			break
 		}
 		for _, ld := range p.sim.fanout[out] {
 			if visited[ld.Gate] {
@@ -110,30 +156,44 @@ func (p *podem) xPathExists() bool {
 			stack = append(stack, ld.Gate)
 		}
 	}
-	return false
+	for _, gi := range touched {
+		visited[gi] = false
+	}
+	p.xTouched = touched[:0]
+	p.xStack = stack[:0]
+	return found
 }
 
 // generate attempts to derive a test for the fault. On success it returns
 // the 3-valued controllable assignment (vX entries are don't-cares).
+//
+// Implication is incremental: the all-X base state is implied once with a
+// full forward pass, then every decision, flip and unassignment propagates
+// only through the fanout cone of the changed control (values are
+// byte-identical to a full re-implication — gate evaluation is a pure
+// function of the inputs over a DAG, and propagation in topological order
+// with change pruning reaches the same fixpoint).
 func (p *podem) generate(f Fault) ([]v3, podemOutcome) {
-	p.fault = f
+	// Return to the all-X base state incrementally: whatever the previous
+	// call left behind is unwound and the injected fault swapped in a
+	// single drain — only the affected cones are re-evaluated, never the
+	// full netlist.
+	p.retarget(f)
 	p.backtracks = 0
-	for i := range p.assign {
-		p.assign[i] = vX
-	}
-	var stack []decision
+	p.buildCone()
+	stack := p.stack[:0]
 
 	for {
-		p.imply()
 		if p.testFound() {
 			out := make([]v3, len(p.assign))
 			copy(out, p.assign)
+			p.stack = stack
 			return out, podemFound
 		}
 		objNet, objVal, ok := p.objective()
 		if ok {
 			if ci, v, ok2 := p.backtrace(objNet, objVal); ok2 {
-				p.assign[ci] = v
+				p.setAssign(ci, v)
 				stack = append(stack, decision{ctrl: ci, value: v})
 				p.totalDecisions++
 				continue
@@ -146,48 +206,205 @@ func (p *podem) generate(f Fault) ([]v3, podemOutcome) {
 			if !top.flipped {
 				top.flipped = true
 				top.value = notV3(top.value)
-				p.assign[top.ctrl] = top.value
+				p.setAssign(top.ctrl, top.value)
 				flipped = true
 				break
 			}
-			p.assign[top.ctrl] = vX
+			p.setAssign(top.ctrl, vX)
 			stack = stack[:len(stack)-1]
 		}
 		if !flipped {
+			p.stack = stack
 			return nil, podemRedundant
 		}
 		p.backtracks++
 		p.totalBacktracks++
 		if p.backtracks > p.limit {
+			p.stack = stack
 			return nil, podemAborted
 		}
 	}
 }
 
-// imply performs full 5-valued forward implication of the current
-// controllable assignment with the fault injected.
-func (p *podem) imply() {
-	n := p.n
-	for i := range p.vals {
-		p.vals[i] = vvX
-	}
-	for ci, net := range p.sim.ctrl {
-		v := p.assign[ci]
-		p.vals[net] = val5{v, v}
-	}
-	f := p.fault
-	for _, gi := range n.TopoOrder() {
-		g := &n.Gates[gi]
-		var out val5
-		if f.Gate == gi && f.Pin >= 0 {
-			out = evalGate5Pin(g, p.vals, int(f.Pin), f.SA)
-		} else {
-			out = evalGate5(g, p.vals)
+// buildCone collects the static fanout cone of the fault gate (the fault
+// gate first, then its transitive fanout in topological order) and the
+// observable nets inside it — the only region a fault effect can reach.
+func (p *podem) buildCone() {
+	marked := p.inQ // reuse the propagation marks; cleared before return
+	cone := p.cone[:0]
+	cone = append(cone, p.fault.Gate)
+	marked[p.fault.Gate] = true
+	for qi := 0; qi < len(cone); qi++ {
+		out := p.n.Gates[cone[qi]].Out
+		for _, ld := range p.sim.fanout[out] {
+			if !marked[ld.Gate] {
+				marked[ld.Gate] = true
+				cone = insertByTopo(cone, qi, ld.Gate, p.sim.topoPos)
+			}
 		}
-		if f.Gate == gi && f.Pin == PinOut {
-			out.f = v3(f.SA)
+	}
+	obs := p.coneObs[:0]
+	for _, gi := range cone {
+		out := p.n.Gates[gi].Out
+		if len(p.sim.obsOfNet[out]) > 0 {
+			obs = append(obs, out)
 		}
-		p.vals[g.Out] = out
+		marked[gi] = false
+	}
+	p.cone = cone
+	p.coneObs = obs
+}
+
+// retarget returns the engine to the all-X fixpoint under fault f without
+// a full re-implication: every control the previous call left assigned is
+// reset to X, the old fault gate is de-injected and the new one injected,
+// and all of it settles in ONE level-ordered drain (seeding every affected
+// gate first means no cone is walked twice, unlike unassigning controls
+// one by one).
+func (p *podem) retarget(f Fault) {
+	inQ, levelOf, buckets := p.inQ, p.levelOf, p.buckets
+	lo := int32(len(buckets))
+	hi := int32(-1)
+	push := func(gi int32) {
+		if inQ[gi] {
+			return
+		}
+		inQ[gi] = true
+		l := levelOf[gi]
+		buckets[l] = append(buckets[l], gi)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	for ci := range p.assign {
+		if p.assign[ci] == vX {
+			continue
+		}
+		p.assign[ci] = vX
+		net := p.sim.ctrl[ci]
+		p.vals[net] = vvX
+		for _, ld := range p.sim.fanout[net] {
+			push(ld.Gate)
+		}
+	}
+	// Enqueued gates are always re-evaluated (pruning only skips their
+	// fanout when the output is unchanged), so seeding both fault gates
+	// swaps the injection even where net values happen not to move.
+	oldGate := p.fault.Gate
+	p.fault = f
+	if oldGate >= 0 {
+		push(oldGate)
+	}
+	push(f.Gate)
+	for l := lo; l <= hi; l++ {
+		b := buckets[l]
+		for _, gi := range b {
+			inQ[gi] = false
+			out := p.evalFaultGate(gi)
+			g := &p.n.Gates[gi]
+			if out == p.vals[g.Out] {
+				continue
+			}
+			p.vals[g.Out] = out
+			for _, ld := range p.sim.fanout[g.Out] {
+				push(ld.Gate)
+			}
+		}
+		buckets[l] = b[:0]
+	}
+}
+
+// evalFaultGate evaluates gate gi under the current values with the
+// fault's injection rules applied (forced input pin or forced faulty
+// output component).
+func (p *podem) evalFaultGate(gi int32) val5 {
+	g := &p.n.Gates[gi]
+	var out val5
+	if p.fault.Gate == gi && p.fault.Pin >= 0 {
+		out = evalGate5Pin(g, p.vals, int(p.fault.Pin), p.fault.SA)
+	} else {
+		out = evalGate5(g, p.vals)
+	}
+	if p.fault.Gate == gi && p.fault.Pin == PinOut {
+		out.f = v3(p.fault.SA)
+	}
+	return out
+}
+
+// setAssign sets controllable ci to v and incrementally re-implies: the
+// new value propagates level by level through the fanout of the control
+// net, pruning subtrees whose gate output is unchanged. A gate is only
+// enqueued at a level strictly above the one being drained, so every gate
+// is evaluated at most once, after all of its dirty inputs settled.
+func (p *podem) setAssign(ci int, v v3) {
+	p.assign[ci] = v
+	net := p.sim.ctrl[ci]
+	nv := val5{v, v}
+	if p.vals[net] == nv {
+		return
+	}
+	p.vals[net] = nv
+	p.propagate(net)
+}
+
+// propagate forwards a changed value on net through its transitive fanout
+// using the per-level pending buckets. The enqueue is written out inline
+// (twice) rather than through a closure: this is the hottest loop in PODEM
+// and the closure call alone showed up with double-digit flat time.
+func (p *podem) propagate(net netlist.Net) {
+	inQ, levelOf, buckets := p.inQ, p.levelOf, p.buckets
+	faultGate := p.fault.Gate
+	lo := int32(len(buckets))
+	hi := int32(-1)
+	for _, ld := range p.sim.fanout[net] {
+		gi := ld.Gate
+		if inQ[gi] {
+			continue
+		}
+		inQ[gi] = true
+		l := levelOf[gi]
+		buckets[l] = append(buckets[l], gi)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	for l := lo; l <= hi; l++ {
+		b := buckets[l]
+		for _, gi := range b {
+			inQ[gi] = false
+			g := &p.n.Gates[gi]
+			var out val5
+			if gi != faultGate {
+				out = evalGate5(g, p.vals)
+			} else {
+				out = p.evalFaultGate(gi)
+			}
+			if out == p.vals[g.Out] {
+				continue
+			}
+			p.vals[g.Out] = out
+			for _, ld := range p.sim.fanout[g.Out] {
+				fg := ld.Gate
+				if inQ[fg] {
+					continue
+				}
+				inQ[fg] = true
+				fl := levelOf[fg]
+				buckets[fl] = append(buckets[fl], fg)
+				// fl > l always (every fanout edge climbs levels), so only
+				// the high-water mark can move.
+				if fl > hi {
+					hi = fl
+				}
+			}
+		}
+		buckets[l] = b[:0]
 	}
 }
 
@@ -201,11 +418,63 @@ func evalGate5(g *netlist.Gate, vals []val5) val5 {
 		return vals[g.In[0]]
 	case netlist.Not:
 		v := vals[g.In[0]]
+		return dec5Tab[not5Tab[enc5(v)]]
+	case netlist.And, netlist.Nand:
+		acc := enc5(vv1)
+		for _, in := range g.In {
+			acc = and5Tab[uint(acc)*9+uint(enc5(vals[in]))]
+		}
+		if g.Type == netlist.Nand {
+			acc = not5Tab[acc]
+		}
+		return dec5Tab[acc]
+	case netlist.Or, netlist.Nor:
+		acc := enc5(vv0)
+		for _, in := range g.In {
+			acc = or5Tab[uint(acc)*9+uint(enc5(vals[in]))]
+		}
+		if g.Type == netlist.Nor {
+			acc = not5Tab[acc]
+		}
+		return dec5Tab[acc]
+	case netlist.Xor, netlist.Xnor:
+		acc := enc5(vv0)
+		for _, in := range g.In {
+			acc = xor5Tab[uint(acc)*9+uint(enc5(vals[in]))]
+		}
+		if g.Type == netlist.Xnor {
+			acc = not5Tab[acc]
+		}
+		return dec5Tab[acc]
+	default: // Mux2
+		sel, a0, a1 := vals[g.In[0]], vals[g.In[1]], vals[g.In[2]]
+		return val5{muxV3(sel.g, a0.g, a1.g), muxV3(sel.f, a0.f, a1.f)}
+	}
+}
+
+// evalGate5Pin evaluates a gate whose input pin carries the fault: the
+// faulty component of that pin is forced to the stuck value. The forcing
+// is substituted inline while folding over the inputs — no temporary
+// input copy, no allocation.
+func evalGate5Pin(g *netlist.Gate, vals []val5, pin int, sa uint8) val5 {
+	fv := v3(sa)
+	pinVal := func(i int) val5 {
+		v := vals[g.In[i]]
+		if i == pin {
+			v.f = fv
+		}
+		return v
+	}
+	switch g.Type {
+	case netlist.Buf:
+		return pinVal(0)
+	case netlist.Not:
+		v := pinVal(0)
 		return val5{notV3(v.g), notV3(v.f)}
 	case netlist.And, netlist.Nand:
 		acc := val5{v1, v1}
-		for _, in := range g.In {
-			v := vals[in]
+		for i := range g.In {
+			v := pinVal(i)
 			acc = val5{andV3(acc.g, v.g), andV3(acc.f, v.f)}
 		}
 		if g.Type == netlist.Nand {
@@ -214,8 +483,8 @@ func evalGate5(g *netlist.Gate, vals []val5) val5 {
 		return acc
 	case netlist.Or, netlist.Nor:
 		acc := val5{v0, v0}
-		for _, in := range g.In {
-			v := vals[in]
+		for i := range g.In {
+			v := pinVal(i)
 			acc = val5{orV3(acc.g, v.g), orV3(acc.f, v.f)}
 		}
 		if g.Type == netlist.Nor {
@@ -224,39 +493,27 @@ func evalGate5(g *netlist.Gate, vals []val5) val5 {
 		return acc
 	case netlist.Xor, netlist.Xnor:
 		acc := val5{v0, v0}
-		for _, in := range g.In {
-			v := vals[in]
+		for i := range g.In {
+			v := pinVal(i)
 			acc = val5{xorV3(acc.g, v.g), xorV3(acc.f, v.f)}
 		}
 		if g.Type == netlist.Xnor {
 			acc = val5{notV3(acc.g), notV3(acc.f)}
 		}
 		return acc
-	default: // Mux2
-		sel, a0, a1 := vals[g.In[0]], vals[g.In[1]], vals[g.In[2]]
+	case netlist.Mux2:
+		sel, a0, a1 := pinVal(0), pinVal(1), pinVal(2)
 		return val5{muxV3(sel.g, a0.g, a1.g), muxV3(sel.f, a0.f, a1.f)}
+	default:
+		// Constants carry no input pins; fall back to the plain evaluation.
+		return evalGate5(g, vals)
 	}
-}
-
-// evalGate5Pin evaluates a gate whose input pin carries the fault: the
-// faulty component of that pin is forced to the stuck value.
-func evalGate5Pin(g *netlist.Gate, vals []val5, pin int, sa uint8) val5 {
-	tmp := make([]val5, len(g.In))
-	for i, in := range g.In {
-		tmp[i] = vals[in]
-	}
-	tmp[pin].f = v3(sa)
-	// Evaluate over tmp with a scratch gate referencing local indices.
-	scratch := netlist.Gate{Type: g.Type, In: make([]netlist.Net, len(g.In))}
-	for i := range scratch.In {
-		scratch.In[i] = netlist.Net(i)
-	}
-	return evalGate5(&scratch, tmp)
 }
 
 // testFound reports whether a fault effect has reached an observable point.
+// Only observables inside the fault cone can carry one.
 func (p *podem) testFound() bool {
-	for _, o := range p.sim.obs {
+	for _, o := range p.coneObs {
 		if p.vals[o].hasFaultEffect() {
 			return true
 		}
@@ -277,10 +534,13 @@ func (p *podem) objective() (netlist.Net, v3, bool) {
 		return 0, v0, false // activation impossible under current assignment
 	}
 	// D-frontier: every gate with a fault effect on an input and an
-	// unknown output; the objective advances the deepest member.
+	// unknown output; the objective advances the deepest member. Fault
+	// effects only exist inside the fault cone, which buildCone keeps in
+	// topological order — so scanning it visits the same gates in the
+	// same order as a whole-netlist scan would.
 	n := p.n
 	p.frontier = p.frontier[:0]
-	for _, gi := range n.TopoOrder() {
+	for _, gi := range p.cone {
 		g := &n.Gates[gi]
 		if p.vals[g.Out].g != vX && p.vals[g.Out].f != vX {
 			continue

@@ -30,6 +30,7 @@ type Simulator struct {
 	coneBuf  []int32
 	obsOfNet [][]int32 // observable indices listening on each net
 	topoPos  []int32   // gate -> position in topological order
+	insBuf   []uint64  // per-gate input scratch (sized to the max fan-in)
 }
 
 // NewSimulator prepares a simulator for the netlist.
@@ -57,6 +58,13 @@ func NewSimulator(n *netlist.Netlist) *Simulator {
 	for pos, gi := range n.TopoOrder() {
 		s.topoPos[gi] = int32(pos)
 	}
+	maxIn := 0
+	for gi := range n.Gates {
+		if l := len(n.Gates[gi].In); l > maxIn {
+			maxIn = l
+		}
+	}
+	s.insBuf = make([]uint64, maxIn)
 	return s
 }
 
@@ -145,52 +153,54 @@ func evalGateFast(g *netlist.Gate, w []uint64) uint64 {
 }
 
 // evalGateWithPin evaluates g with input pin `pin` forced to the stuck
-// value.
+// value. The forced value is substituted inline while folding over the
+// inputs, so the hottest call of the fault simulator (one excitation
+// check per Detects) performs no allocation and no input copy.
 func evalGateWithPin(g *netlist.Gate, w []uint64, pin int, sa uint8) uint64 {
-	saved := make([]uint64, len(g.In))
-	for i, in := range g.In {
-		saved[i] = w[in]
-	}
 	forced := uint64(0)
 	if sa == 1 {
 		forced = ^uint64(0)
 	}
-	vals := saved
-	vals[pin] = forced
+	pinVal := func(i int) uint64 {
+		if i == pin {
+			return forced
+		}
+		return w[g.In[i]]
+	}
 	switch g.Type {
 	case netlist.Buf:
-		return vals[0]
+		return pinVal(0)
 	case netlist.Not:
-		return ^vals[0]
+		return ^pinVal(0)
 	case netlist.And, netlist.Nand:
-		v := vals[0]
-		for _, x := range vals[1:] {
-			v &= x
+		v := pinVal(0)
+		for i := 1; i < len(g.In); i++ {
+			v &= pinVal(i)
 		}
 		if g.Type == netlist.Nand {
 			v = ^v
 		}
 		return v
 	case netlist.Or, netlist.Nor:
-		v := vals[0]
-		for _, x := range vals[1:] {
-			v |= x
+		v := pinVal(0)
+		for i := 1; i < len(g.In); i++ {
+			v |= pinVal(i)
 		}
 		if g.Type == netlist.Nor {
 			v = ^v
 		}
 		return v
 	case netlist.Xor, netlist.Xnor:
-		v := vals[0]
-		for _, x := range vals[1:] {
-			v ^= x
+		v := pinVal(0)
+		for i := 1; i < len(g.In); i++ {
+			v ^= pinVal(i)
 		}
 		if g.Type == netlist.Xnor {
 			v = ^v
 		}
 		return v
 	case netlist.Mux2:
-		return vals[1]&^vals[0] | vals[2]&vals[0]
+		return pinVal(1)&^pinVal(0) | pinVal(2)&pinVal(0)
 	default:
 		return evalGateFast(g, w)
 	}
@@ -273,10 +283,11 @@ func insertByTopo(cone []int32, qi int, gi int32, topoPos []int32) []int32 {
 }
 
 // evalGateCone evaluates a gate whose inputs take faulty values where the
-// driver is a live cone member and good values everywhere else.
+// driver is a live cone member and good values everywhere else. The input
+// scratch is the simulator's insBuf (sized to the netlist's max fan-in at
+// construction), keeping the per-gate evaluation allocation-free.
 func (s *Simulator) evalGateCone(g *netlist.Gate) uint64 {
-	var buf [8]uint64
-	ins := buf[:0]
+	ins := s.insBuf[:0]
 	for _, in := range g.In {
 		v := s.good[in]
 		if d := s.n.Driver(in); d.Kind == netlist.DriverGate && s.inCone[d.Index] {

@@ -92,6 +92,32 @@ type val5 struct {
 	f v3 // faulty-machine component
 }
 
+// enc5 packs a val5 into a table index in [0, 9).
+func enc5(v val5) uint8 { return uint8(v.g)*3 + uint8(v.f) }
+
+// Pairwise lookup tables over packed val5 indices: one branch-free load
+// combines the good and faulty components at once, which matters in the
+// gate-evaluation fold — the innermost loop of PODEM's implication.
+var (
+	and5Tab, or5Tab, xor5Tab [81]uint8
+	not5Tab                  [9]uint8
+	dec5Tab                  [9]val5
+)
+
+func init() {
+	for a := 0; a < 9; a++ {
+		av := val5{v3(a / 3), v3(a % 3)}
+		dec5Tab[a] = av
+		not5Tab[a] = enc5(val5{notV3(av.g), notV3(av.f)})
+		for b := 0; b < 9; b++ {
+			bv := val5{v3(b / 3), v3(b % 3)}
+			and5Tab[a*9+b] = enc5(val5{andV3(av.g, bv.g), andV3(av.f, bv.f)})
+			or5Tab[a*9+b] = enc5(val5{orV3(av.g, bv.g), orV3(av.f, bv.f)})
+			xor5Tab[a*9+b] = enc5(val5{xorV3(av.g, bv.g), xorV3(av.f, bv.f)})
+		}
+	}
+}
+
 var (
 	vv0 = val5{v0, v0}
 	vv1 = val5{v1, v1}

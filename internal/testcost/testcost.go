@@ -92,6 +92,14 @@ type Annotator struct {
 	Seed  int64
 	March march.Test
 
+	// ATPGWorkers bounds the parallelism inside each gate-level ATPG run
+	// behind a cache miss (atpg.Config.Workers): 0 = GOMAXPROCS,
+	// 1 = serial. When the annotator is shared by several DSE evaluation
+	// workers, set this to the per-evaluation share of the core budget so
+	// the two levels do not oversubscribe (dse.Config does this
+	// automatically). Results are identical at any setting.
+	ATPGWorkers int
+
 	// Obs, when non-nil, receives annotation-cache counters —
 	// "testcost.cache.hit" (served from the completed cache),
 	// "testcost.cache.miss" (ran ATPG; exactly one per distinct key),
@@ -191,7 +199,7 @@ func (a *Annotator) runAnnotation(ctx context.Context, gen func() (*gatelib.Comp
 	if err != nil {
 		return annotation{}, err
 	}
-	res, err := atpg.RunContext(ctx, comp.Seq, atpg.Config{Seed: a.Seed, Obs: a.Obs})
+	res, err := atpg.RunContext(ctx, comp.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
 	if err != nil {
 		return annotation{}, err
 	}
@@ -223,8 +231,8 @@ func (a *Annotator) sockets() error {
 			a.sockErr = err
 			return
 		}
-		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed, Obs: a.Obs})
-		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed, Obs: a.Obs})
+		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
+		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
 		a.sockIn = annotation{np: resIn.NumPatterns(), nl: in.SeqFFs(), coverage: resIn.Coverage()}
 		a.sockOut = annotation{np: resOut.NumPatterns(), nl: out.SeqFFs(), coverage: resOut.Coverage()}
 		a.sockNP = resIn.NumPatterns()
