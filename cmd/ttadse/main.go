@@ -15,8 +15,17 @@
 // worker utilization) as JSON to the given file, or to stdout with "-"
 // (which then replaces the default report so the output stays valid
 // JSON). -progress streams per-candidate completion events to stderr.
-// -timeout bounds the exploration; on expiry the run is cancelled and the
-// context error reported.
+//
+// Resilience: -timeout bounds the exploration; on expiry the completed
+// evaluations are still reported (with a partial-result summary on
+// stderr) and the process exits with code 2 — a hard failure mid-sweep
+// exits 1, a clean run 0. -atpg-deadline budgets each gate-level ATPG
+// run; an exhausted budget degrades that annotation to an analytical
+// upper bound (rows marked "degraded" in the report), and
+// -degraded-policy decides whether such points may win the selection.
+// -checkpoint persists completed evaluations to a file and resumes from
+// it after a kill, producing byte-identical output to an uninterrupted
+// run.
 package main
 
 import (
@@ -58,8 +67,11 @@ func main() {
 	cache := flag.String("cache", "", "warm-start annotation cache file: loaded if present, rewritten after the run")
 	metrics := flag.String("metrics", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
 	progress := flag.Bool("progress", false, "stream candidate-completion events to stderr")
-	timeout := flag.Duration("timeout", 0, "cancel the exploration after this duration (0 = none)")
+	timeout := flag.Duration("timeout", 0, "cancel the exploration after this duration (0 = none); completed evaluations are still reported, exit code 2")
 	atpgWorkers := flag.Int("atpg-workers", 0, "workers inside each gate-level ATPG run (0 = split the core budget with the DSE parallelism; results are identical at any setting)")
+	atpgDeadline := flag.Duration("atpg-deadline", 0, "wall-clock budget per gate-level ATPG run; on exhaustion the annotation degrades to an analytical upper bound (0 = none)")
+	degradedPolicy := flag.String("degraded-policy", "allow", "how budget-degraded candidates compete in the selection: allow, penalize or exclude")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed evaluations are persisted there and restored on the next run")
 	flag.Parse()
 
 	cfg, err := dse.DefaultConfig()
@@ -117,14 +129,59 @@ func main() {
 		cfg.Annotator = testcost.NewAnnotator(cfg.Width, cfg.Seed)
 		cfg.Annotator.Obs = cfg.Obs // count loaded entries when instrumented
 		var mismatch *testcost.CacheMismatchError
+		var corrupt *testcost.CacheCorruptError
 		switch err := cfg.Annotator.LoadFile(*cache); {
 		case err == nil:
 		case errors.Is(err, fs.ErrNotExist):
 		case errors.As(err, &mismatch):
 			log.Printf("warning: ignoring stale cache %s: %v", *cache, err)
+		case errors.As(err, &corrupt):
+			log.Printf("warning: ignoring corrupt cache %s: %v", *cache, err)
 		default:
 			log.Fatal(err)
 		}
+	}
+	if *atpgDeadline < 0 {
+		log.Fatalf("-atpg-deadline %v is negative (use 0 for no budget)", *atpgDeadline)
+	}
+	if *atpgDeadline > 0 {
+		if cfg.Annotator == nil {
+			cfg.Annotator = testcost.NewAnnotator(cfg.Width, cfg.Seed)
+			cfg.Annotator.Obs = cfg.Obs
+		}
+		cfg.Annotator.ATPGDeadline = *atpgDeadline
+	}
+
+	// Checkpoint/resume: restore completed evaluations from a previous
+	// (killed) run of the same exploration; a stale or damaged file is
+	// ignored with a warning and overwritten.
+	if *checkpoint != "" {
+		ck, err := dse.OpenCheckpoint(*checkpoint, cfg)
+		if ck == nil {
+			log.Fatal(err)
+		}
+		var mm *dse.CheckpointMismatchError
+		var cc *dse.CheckpointCorruptError
+		switch {
+		case err == nil:
+		case errors.As(err, &mm):
+			log.Printf("warning: ignoring stale checkpoint %s: %v", *checkpoint, err)
+		case errors.As(err, &cc):
+			log.Printf("warning: ignoring corrupt checkpoint %s: %v", *checkpoint, err)
+		default:
+			log.Fatal(err)
+		}
+		if n := ck.Len(); n > 0 {
+			log.Printf("resuming from checkpoint %s: %d completed evaluations", *checkpoint, n)
+		}
+		cfg.Checkpoint = ck
+	}
+
+	// Selection spec (norm, weights, degraded policy) validates before
+	// the exploration spends any time.
+	spec := dse.SelectionSpec{Norm: *normFlag, WA: *wa, WT: *wt, WC: *wc, DegradedPolicy: *degradedPolicy}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	ctx := context.Background()
@@ -135,8 +192,28 @@ func main() {
 	}
 
 	study := core.NewStudyWithConfig(cfg)
+	exitCode := 0
 	if err := study.ExploreContext(ctx); err != nil {
-		log.Fatal(err)
+		var partial *dse.PartialError
+		if !errors.As(err, &partial) {
+			log.Fatal(err)
+		}
+		// A cut-short sweep: report what completed, and say why. The exit
+		// code separates "ran out of time" (2, rerun with a bigger budget
+		// or -checkpoint) from "hit hard failures" (1).
+		log.Printf("partial exploration: %d/%d candidates evaluated (%d errors, %d panics)",
+			partial.Evaluated, partial.Total, len(partial.Errs), partial.Panics)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			exitCode = 2
+			log.Printf("exploration timed out; reporting the completed subset (exit code 2)")
+		} else {
+			exitCode = 1
+			log.Printf("exploration hit hard failures: %v (exit code 1)", partial.Cause)
+		}
+		if study.Result == nil {
+			log.Printf("no usable result to report")
+			os.Exit(exitCode)
+		}
 	}
 	if *cache != "" {
 		if err := cfg.Annotator.SaveFile(*cache); err != nil {
@@ -144,12 +221,9 @@ func main() {
 		}
 	}
 
-	// Optional re-selection under custom weights/norm.
-	spec := dse.SelectionSpec{Norm: *normFlag, WA: *wa, WT: *wt, WC: *wc}
-	if err := spec.Validate(); err != nil {
-		log.Fatal(err)
-	}
-	if *normFlag != "euclid" || *wa != 1 || *wt != 1 || *wc != 1 {
+	// Optional re-selection under custom weights/norm/degraded policy.
+	if *normFlag != "euclid" || *wa != 1 || *wt != 1 || *wc != 1 ||
+		(*degradedPolicy != "allow" && *degradedPolicy != "") {
 		if err := study.Reselect(spec); err != nil {
 			log.Fatal(err)
 		}
@@ -204,6 +278,9 @@ func main() {
 		if err := writeMetrics(reg, *metrics); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

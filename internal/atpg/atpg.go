@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
@@ -41,6 +43,20 @@ type Config struct {
 	// single-threaded pass in canonical fault order, so the output is a
 	// function of (netlist, seed, config) only.
 	Workers int
+	// Deadline bounds the run's wall-clock time (0 = none). Unlike a
+	// context deadline — which aborts the run with an error and no
+	// result — an exhausted Deadline degrades gracefully: pattern
+	// generation stops, every fault still undetected is counted aborted,
+	// and the partial result is returned with DeadlineExceeded set so
+	// callers (testcost.Annotator) can fall back to an analytical bound.
+	// A run that finishes within the budget is byte-identical to an
+	// unbudgeted run.
+	Deadline time.Duration
+	// Inject, when non-nil, enables the faultinject.ATPGPattern injection
+	// point in the deterministic-phase merge loop (one hit per fault, in
+	// canonical order). Production runs pass nothing and pay one pointer
+	// test per fault.
+	Inject *faultinject.Injector
 	// Obs, when non-nil, receives ATPG metrics: PODEM decisions and
 	// backtracks, fault-simulation blocks and lane utilization, shard and
 	// merge statistics, pattern and fault counts (counters "atpg.*",
@@ -87,6 +103,12 @@ type Result struct {
 	RandomDetected int
 	// PodemPatterns counts deterministic patterns before compaction.
 	PodemPatterns int
+	// DeadlineExceeded reports that Config.Deadline expired before every
+	// fault was resolved: the pattern set is valid but partial (the
+	// unresolved faults are counted in Aborted), and the pattern count is
+	// not the converged n_p — consumers should substitute an analytical
+	// bound (see EstimateBound).
+	DeadlineExceeded bool
 }
 
 // NumPatterns returns n_p, the size of the final test set.
@@ -153,6 +175,9 @@ func (m *runMetrics) flush(r *obs.Registry, res *Result) {
 	r.Counter("atpg.podem.discarded").Add(m.discarded)
 	r.Counter("atpg.faultsim.blocks").Add(m.blocks)
 	r.Counter("atpg.faultsim.lanes").Add(m.lanes)
+	if res.DeadlineExceeded {
+		r.Counter("atpg.deadline.exceeded").Inc()
+	}
 	if m.blocks > 0 {
 		r.Gauge("atpg.faultsim.lane_util").Set(float64(m.lanes) / float64(64*m.blocks))
 	}
@@ -166,9 +191,26 @@ func Run(n *netlist.Netlist, cfg Config) *Result {
 	return res
 }
 
+// budget is the run's wall-clock deadline (zero = unbounded). time.Now
+// is monotonic, so once expired reports true it stays true — the
+// property the sharded PODEM merge relies on (a worker that stopped on
+// the deadline implies the later merge loop stops on its first check).
+type budget struct{ at time.Time }
+
+func newBudget(d time.Duration) budget {
+	if d <= 0 {
+		return budget{}
+	}
+	return budget{at: time.Now().Add(d)}
+}
+
+func (b budget) expired() bool { return !b.at.IsZero() && time.Now().After(b.at) }
+
 // RunContext is Run with cancellation: the random-pattern and PODEM
 // phases poll ctx (per block / per fault) and return (nil, ctx.Err())
-// when it is done. With a background context the error is always nil.
+// when it is done. With a background context and no Deadline the error
+// is always nil; an exhausted Deadline is not an error — see
+// Config.Deadline.
 func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -177,23 +219,29 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
 	m := &runMetrics{}
 	defer m.flush(cfg.Obs, res)
+	bud := newBudget(cfg.Deadline)
 
 	detected := make([]bool, len(u.Faults))
 	var patterns []Pattern
 
 	if cfg.MaxRandomPatterns > 0 {
-		patterns = randomPhase(ctx, sim, u, cfg, rng, detected, res, m)
+		patterns = randomPhase(ctx, sim, u, cfg, rng, detected, res, m, bud)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
 
-	if !cfg.SkipPODEM {
+	if !cfg.SkipPODEM && !bud.expired() {
 		var err error
-		patterns, err = podemTopUp(ctx, sim, u, cfg, rng, detected, res, patterns, m)
+		patterns, err = podemTopUp(ctx, sim, u, cfg, rng, detected, res, patterns, m, bud)
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if bud.expired() {
+		res.DeadlineExceeded = true
+		markRemainingAborted(detected, res)
 	}
 
 	if cfg.SkipCompaction {
@@ -202,6 +250,25 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 	}
 	res.Patterns = compactReverse(sim, u, patterns, detected, cfg.Workers, m)
 	return res, nil
+}
+
+// markRemainingAborted counts every still-undetected fault as aborted —
+// the deadline-exhaustion bookkeeping that keeps Detected+Redundant+
+// Aborted equal to what a converged run would partition.
+func markRemainingAborted(detected []bool, res *Result) {
+	aborted := 0
+	for _, d := range detected {
+		if !d {
+			aborted++
+		}
+	}
+	// Redundant and previously-aborted faults were already counted by the
+	// merge loop and are marked detected=false; subtract them so the sum
+	// stays consistent.
+	aborted -= res.Redundant + res.Aborted
+	if aborted > 0 {
+		res.Aborted += aborted
+	}
 }
 
 // podemCandidate is a speculatively generated PODEM outcome for one fault.
@@ -226,7 +293,7 @@ type podemCandidate struct {
 //
 // Accepted patterns are fault-dropped in 64-lane batches by a
 // batchDropper instead of one LoadBlock per pattern.
-func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, patterns []Pattern, m *runMetrics) ([]Pattern, error) {
+func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, patterns []Pattern, m *runMetrics, bud budget) ([]Pattern, error) {
 	workers := cfg.workerCount()
 	m.shards += int64(workers)
 
@@ -240,7 +307,7 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 	var cands []podemCandidate
 	var engines []*podem
 	if workers > 1 {
-		cands, engines = shardedCandidates(ctx, u, cfg, detected, workers, scoap)
+		cands, engines = shardedCandidates(ctx, u, cfg, detected, workers, scoap, bud)
 	} else {
 		eng := newPodem(sim, cfg.BacktrackLimit)
 		eng.scoap = scoap
@@ -257,6 +324,19 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 	for fi := range u.Faults {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		// Chaos hook: one hit per fault in canonical order (so the hit
+		// sequence is identical at any worker count). A firing error or
+		// panic surfaces exactly like a context failure would.
+		if err := cfg.Inject.Hit(faultinject.ATPGPattern); err != nil {
+			return nil, err
+		}
+		if bud.expired() {
+			// Out of wall-clock budget: settle the pending block so the
+			// patterns found so far keep their drop credit, and leave the
+			// rest of the universe to markRemainingAborted.
+			drop.flush(fi)
+			return patterns, nil
 		}
 		if detected[fi] {
 			// Already covered by the random phase or a flushed block; a
@@ -278,10 +358,16 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 		var asg []v3
 		var outcome podemOutcome
 		if cands != nil {
-			// The ctx poll above ran after the worker wrote this entry:
-			// workers only skip faults once ctx is cancelled, and ctx
-			// errors are monotone, so a missing candidate is unreachable
-			// here.
+			// The ctx and deadline polls above ran after the worker wrote
+			// this entry: workers only skip faults once ctx is cancelled
+			// or the budget expired, and both are monotone, so a missing
+			// candidate is unreachable here. Guard anyway — treating a
+			// hole as budget exhaustion keeps the run usable even if the
+			// monotonicity argument is ever broken.
+			if !cands[fi].ok {
+				drop.flush(fi)
+				return patterns, nil
+			}
 			asg, outcome = cands[fi].asg, cands[fi].outcome
 		} else {
 			asg, outcome = engines[0].generate(u.Faults[fi])
@@ -311,7 +397,7 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 // SCOAP table is shared (read-only during generation). Faults are dealt
 // round-robin for load balance; the partition does not affect the output
 // because the merge pass re-serializes in fault order.
-func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []bool, workers int, scoap *Scoap) ([]podemCandidate, []*podem) {
+func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []bool, workers int, scoap *Scoap, bud budget) ([]podemCandidate, []*podem) {
 	var work []int32
 	for fi := range u.Faults {
 		if !detected[fi] {
@@ -329,7 +415,7 @@ func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []
 		go func(w int, eng *podem) {
 			defer wg.Done()
 			for i := w; i < len(work); i += workers {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || bud.expired() {
 					return
 				}
 				fi := work[i]
@@ -501,7 +587,7 @@ func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(sim *Simulator,
 // the patterns that were first detectors of at least one fault. The block
 // and its 64 pattern buffers are allocated once and refilled per
 // iteration; kept patterns are cloned out of the reused buffers.
-func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, m *runMetrics) []Pattern {
+func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, m *runMetrics, bud budget) []Pattern {
 	pool := newSimPool(sim.n, cfg.Workers)
 	var kept []Pattern
 	dry := 0
@@ -512,7 +598,7 @@ func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, r
 		block[k] = make(Pattern, sim.NumControls())
 	}
 	for total < cfg.MaxRandomPatterns && dry < cfg.RandomDryBlocks {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || bud.expired() {
 			return kept
 		}
 		m.blocks++

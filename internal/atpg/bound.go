@@ -1,0 +1,51 @@
+package atpg
+
+import "repro/internal/netlist"
+
+// Bound is the analytical (no-ATPG) testability summary of a netlist,
+// used as the graceful-degradation fallback when a budgeted ATPG run
+// exhausts its wall-clock deadline (see Config.Deadline and
+// testcost.Annotator).
+type Bound struct {
+	// Patterns is a deterministic upper bound on the compacted pattern
+	// count n_p: every SCOAP-testable collapsed fault needs at most one
+	// dedicated pattern, so the converged test set can never be larger.
+	// Substituting it for a measured n_p keeps the paper's monotone
+	// relationships intact — a degraded candidate's test cost is
+	// overestimated, never flattered.
+	Patterns int
+	// TotalFaults is the size of the collapsed fault universe.
+	TotalFaults int
+	// Testable counts faults with a finite SCOAP cost (a finite
+	// controllability/observability path exists); the rest are
+	// structurally untestable and excluded from the bound, mirroring how
+	// Coverage() excludes proven-redundant faults.
+	Testable int
+}
+
+// Coverage returns the analytical coverage estimate: testable faults
+// over the whole universe (the ceiling a converged run could reach under
+// the Coverage() convention, where untestable faults are excluded).
+func (b Bound) Coverage() float64 {
+	if b.TotalFaults == 0 {
+		return 1
+	}
+	return float64(b.Testable) / float64(b.TotalFaults)
+}
+
+// EstimateBound computes the SCOAP-derived analytical bound for a
+// netlist. It is a pure function of the netlist — no seed, no budget, no
+// randomness — so a degraded annotation is deterministic regardless of
+// where in the run the deadline struck.
+func EstimateBound(n *netlist.Netlist) Bound {
+	s := ComputeScoap(n)
+	u := NewUniverse(n)
+	b := Bound{TotalFaults: len(u.Faults)}
+	for _, f := range u.Faults {
+		if s.FaultCost(f) < scoapInf {
+			b.Testable++
+		}
+	}
+	b.Patterns = b.Testable
+	return b
+}

@@ -130,7 +130,7 @@ func TestBatchDropperMatchesPerPatternDrop(t *testing.T) {
 		detected := make([]bool, len(u.Faults))
 		res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
 		m := &runMetrics{}
-		patterns := randomPhase(context.Background(), sim, u, cfg, rng, detected, res, m)
+		patterns := randomPhase(context.Background(), sim, u, cfg, rng, detected, res, m, budget{})
 		eng := newPodem(sim, cfg.BacktrackLimit)
 		for fi := range u.Faults {
 			if detected[fi] {
@@ -170,8 +170,8 @@ func TestBatchDropperMatchesPerPatternDrop(t *testing.T) {
 	detected := make([]bool, len(u.Faults))
 	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
 	m := &runMetrics{}
-	patterns := randomPhase(context.Background(), sim, u, cfg, rng, detected, res, m)
-	patterns, err = podemTopUp(context.Background(), sim, u, cfg, rng, detected, res, patterns, m)
+	patterns := randomPhase(context.Background(), sim, u, cfg, rng, detected, res, m, budget{})
+	patterns, err = podemTopUp(context.Background(), sim, u, cfg, rng, detected, res, patterns, m, budget{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,9 +54,12 @@ func (s *Study) Explore() error {
 }
 
 // ExploreContext runs the design space exploration under ctx (idempotent).
-// Cancelling the context stops the exploration promptly with ctx.Err()
-// and leaves the study without a result, so a later call can retry. When
-// s.Config.Obs is set, the run is fully instrumented (see dse.Config.Obs).
+// Cancelling the context stops the exploration promptly; the error then
+// is a *dse.PartialError (unwrapping to ctx.Err()), and whatever partial
+// result was salvaged is kept on the study — the figures render over the
+// evaluated subset. Because a partial result is a result, a later call
+// does not re-explore; start a fresh study to retry. When s.Config.Obs is
+// set, the run is fully instrumented (see dse.Config.Obs).
 func (s *Study) ExploreContext(ctx context.Context) error {
 	if s.Result != nil {
 		return nil
@@ -69,11 +72,12 @@ func (s *Study) ExploreContext(ctx context.Context) error {
 		s.Config.Annotator = testcost.NewAnnotator(w, s.Config.Seed)
 	}
 	res, err := dse.ExploreContext(ctx, s.Config)
-	if err != nil {
-		return err
+	if res != nil && (err == nil || res.Selected >= 0) {
+		// Keep a usable partial result (it has a selection to render);
+		// drop a hollow one so ensure() still reports "call Explore".
+		s.Result = res
 	}
-	s.Result = res
-	return nil
+	return err
 }
 
 // Reselect re-runs the figure-9 selection under a custom norm and weight
@@ -136,7 +140,13 @@ func (s *Study) Figure8Table() (*report.Table, error) {
 		if i == s.Result.Selected {
 			mark = "<== min norm"
 		}
-		t.AddRow(c.Arch.Name, c.Area, c.ExecTime, c.TestCost, c.FullScan, mark)
+		name := c.Arch.Name
+		if c.Degraded {
+			// The test cost is an analytical upper bound (ATPG budget ran
+			// out), not a measured pattern count.
+			name += " (degraded)"
+		}
+		t.AddRow(name, c.Area, c.ExecTime, c.TestCost, c.FullScan, mark)
 	}
 	return t, nil
 }
@@ -237,6 +247,15 @@ func (s *Study) Summary() (string, error) {
 	var b strings.Builder
 	r := s.Result
 	fmt.Fprintf(&b, "candidates: %d (%d feasible)\n", len(r.Candidates), len(r.Feasible))
+	nDeg := 0
+	for _, i := range r.Feasible {
+		if r.Candidates[i].Degraded {
+			nDeg++
+		}
+	}
+	if nDeg > 0 {
+		fmt.Fprintf(&b, "degraded: %d candidates carry analytical test-cost bounds (ATPG budget exhausted)\n", nDeg)
+	}
 	fmt.Fprintf(&b, "2-D Pareto front: %d points; 3-D front: %d points\n", len(r.Front2D), len(r.Front3D))
 	fmt.Fprintf(&b, "area/time projection preserved: %v\n", r.ProjectionPreserved())
 	if lo, hi, ok := r.TestCostSpread(0.01); ok {

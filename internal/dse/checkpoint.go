@@ -1,0 +1,321 @@
+// Checkpoint/resume for long explorations: completed candidate
+// evaluations are periodically persisted to a versioned JSON file, so a
+// run killed mid-sweep (power loss, OOM, operator ^C) resumes from the
+// finished prefix instead of re-measuring every gate-level ATPG run.
+//
+// The file is keyed by everything that determines a candidate's value:
+// the checkpoint format version, the gate-level library generation
+// (gatelib.LibraryKey), the data-path width, the ATPG seed and a weak
+// workload signature (name, width, input and op counts, repetitions).
+// Entries are keyed by structKey(arch) plus the architecture name —
+// the name embeds the enumeration id, the structure knobs and the
+// port-assignment strategy, so no two distinct candidates collide and a
+// resumed run restores exactly the evaluations it would have recomputed.
+//
+// Every persisted field round-trips exactly through JSON (integers, and
+// floats via Go's shortest-representation encoding), so a resumed
+// exploration is byte-identical to an uninterrupted one.
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/gatelib"
+	"repro/internal/obs"
+	"repro/internal/tta"
+)
+
+// CheckpointFormatVersion is the on-disk checkpoint format version.
+// Bump it whenever the entry layout or the meaning of a field changes.
+const CheckpointFormatVersion = 1
+
+// checkpointFlushEvery bounds the work lost to a crash: the file is
+// rewritten after this many newly recorded evaluations (and once more on
+// completion).
+const checkpointFlushEvery = 16
+
+// checkpointFile is the serialized form.
+type checkpointFile struct {
+	Version  int    `json:"version"`
+	Library  string `json:"library"`
+	Width    int    `json:"width"`
+	Seed     int64  `json:"seed"`
+	Workload string `json:"workload"`
+
+	Entries map[string]checkpointEntry `json:"entries"`
+}
+
+// checkpointEntry is one completed candidate evaluation — every
+// Candidate field except the architecture pointer, which the resuming
+// run re-derives from the (deterministic) enumeration.
+type checkpointEntry struct {
+	Feasible bool    `json:"feasible"`
+	Reason   string  `json:"reason,omitempty"`
+	Area     float64 `json:"area"`
+	Cycles   int     `json:"cycles"`
+	Clock    float64 `json:"clock"`
+	ExecTime float64 `json:"exec_time"`
+	TestCost int     `json:"test_cost"`
+	FullScan int     `json:"full_scan"`
+	Spills   int     `json:"spills"`
+	Energy   float64 `json:"energy"`
+	Degraded bool    `json:"degraded,omitempty"`
+}
+
+func toCheckpointEntry(c *Candidate) checkpointEntry {
+	return checkpointEntry{
+		Feasible: c.Feasible, Reason: c.Reason,
+		Area: c.Area, Cycles: c.Cycles, Clock: c.Clock, ExecTime: c.ExecTime,
+		TestCost: c.TestCost, FullScan: c.FullScan, Spills: c.Spills,
+		Energy: c.Energy, Degraded: c.Degraded,
+	}
+}
+
+// candidate reconstitutes the evaluation for arch.
+func (e checkpointEntry) candidate(arch *tta.Architecture) Candidate {
+	return Candidate{
+		Arch:     arch,
+		Feasible: e.Feasible, Reason: e.Reason,
+		Area: e.Area, Cycles: e.Cycles, Clock: e.Clock, ExecTime: e.ExecTime,
+		TestCost: e.TestCost, FullScan: e.FullScan, Spills: e.Spills,
+		Energy: e.Energy, Degraded: e.Degraded,
+	}
+}
+
+// checkpointKey identifies one candidate: the structural signature plus
+// the architecture name (which embeds the enumeration id and the
+// port-assignment variant).
+func checkpointKey(a *tta.Architecture) string {
+	return structKey(a) + "|" + a.Name
+}
+
+// CheckpointMismatchError reports a structurally valid checkpoint file
+// written by a different exploration (library generation, width, seed or
+// workload). The returned Checkpoint starts fresh; callers typically
+// warn and let the run overwrite the file.
+type CheckpointMismatchError struct {
+	Field string
+	Want  string
+	Got   string
+}
+
+func (e *CheckpointMismatchError) Error() string {
+	return fmt.Sprintf("dse: checkpoint %s mismatch: file has %s, run wants %s", e.Field, e.Got, e.Want)
+}
+
+// CheckpointCorruptError reports a checkpoint file that could not be
+// decoded or failed structural validation. The returned Checkpoint
+// starts fresh; callers typically warn and let the run overwrite it.
+type CheckpointCorruptError struct {
+	Reason string
+	Err    error
+}
+
+func (e *CheckpointCorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("dse: corrupt checkpoint (%s): %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("dse: corrupt checkpoint (%s)", e.Reason)
+}
+
+func (e *CheckpointCorruptError) Unwrap() error { return e.Err }
+
+// Checkpoint persists completed candidate evaluations across runs.
+// Obtain one with OpenCheckpoint and hand it to Config.Checkpoint; the
+// exploration restores matching entries before evaluating and records
+// new ones as workers finish (flushing every few completions and once at
+// the end). Methods are safe for concurrent use by the worker pool.
+type Checkpoint struct {
+	mu         sync.Mutex
+	path       string
+	header     checkpointFile // Entries nil; header fields only
+	entries    map[string]checkpointEntry
+	sinceFlush int
+
+	obs    *obs.Registry
+	inject *faultinject.Injector
+}
+
+// workloadSignature is the weak identity a checkpoint binds to: enough
+// to reject a file recorded against a different kernel without hashing
+// the whole graph.
+func workloadSignature(cfg *Config) string {
+	g := cfg.Workload
+	if g == nil {
+		return fmt.Sprintf("default/reps%d", cfg.WorkloadReps)
+	}
+	return fmt.Sprintf("%s/w%d/in%d/ops%d/reps%d", g.Name, g.Width, g.NumInputs(), g.NumOps(), cfg.WorkloadReps)
+}
+
+// OpenCheckpoint opens (or initializes) the checkpoint file at path for
+// an exploration under cfg. A missing file yields a fresh checkpoint and
+// a nil error. A header mismatch or a corrupt file also yields a usable
+// fresh checkpoint, alongside a *CheckpointMismatchError or
+// *CheckpointCorruptError the caller can surface as a warning — the
+// stale file is overwritten at the first flush.
+func OpenCheckpoint(path string, cfg Config) (*Checkpoint, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		path: path,
+		header: checkpointFile{
+			Version:  CheckpointFormatVersion,
+			Library:  gatelib.LibraryKey,
+			Width:    cfg.Width,
+			Seed:     cfg.Seed,
+			Workload: workloadSignature(&cfg),
+		},
+		entries: make(map[string]checkpointEntry),
+		obs:     cfg.Obs,
+		inject:  cfg.Inject,
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return ck, &CheckpointCorruptError{Reason: "read", Err: err}
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return ck, &CheckpointCorruptError{Reason: "decode", Err: err}
+	}
+	for _, m := range []struct{ field, want, got string }{
+		{"format version", fmt.Sprint(ck.header.Version), fmt.Sprint(f.Version)},
+		{"library key", ck.header.Library, f.Library},
+		{"width", fmt.Sprint(ck.header.Width), fmt.Sprint(f.Width)},
+		{"seed", fmt.Sprint(ck.header.Seed), fmt.Sprint(f.Seed)},
+		{"workload", ck.header.Workload, f.Workload},
+	} {
+		if m.want != m.got {
+			return ck, &CheckpointMismatchError{Field: m.field, Want: m.want, Got: m.got}
+		}
+	}
+	for k, e := range f.Entries {
+		if err := validCheckpointEntry(e); err != nil {
+			return ck, &CheckpointCorruptError{Reason: fmt.Sprintf("entry %q", k), Err: err}
+		}
+	}
+	for k, e := range f.Entries {
+		ck.entries[k] = e
+	}
+	return ck, nil
+}
+
+// validCheckpointEntry rejects values no honest flush could have
+// produced — the structural screen behind CheckpointCorruptError.
+func validCheckpointEntry(e checkpointEntry) error {
+	if e.Cycles < 0 || e.TestCost < 0 || e.FullScan < 0 || e.Spills < 0 {
+		return fmt.Errorf("negative count")
+	}
+	for _, v := range [...]float64{e.Area, e.Clock, e.ExecTime, e.Energy} {
+		if v != v || v < 0 { // NaN or negative
+			return fmt.Errorf("invalid float %v", v)
+		}
+	}
+	if e.Feasible && e.Reason != "" {
+		return fmt.Errorf("feasible entry carries an infeasibility reason")
+	}
+	return nil
+}
+
+// Len reports how many completed evaluations the checkpoint holds.
+func (ck *Checkpoint) Len() int {
+	if ck == nil {
+		return 0
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return len(ck.entries)
+}
+
+// bind attaches the exploration's observability registry and injector
+// (ExploreContext calls it after fillDefaults, so a checkpoint opened
+// before the registry existed still reports restores and flush trouble).
+func (ck *Checkpoint) bind(reg *obs.Registry, inj *faultinject.Injector) {
+	if ck == nil {
+		return
+	}
+	ck.mu.Lock()
+	if ck.obs == nil {
+		ck.obs = reg
+	}
+	if ck.inject == nil {
+		ck.inject = inj
+	}
+	ck.mu.Unlock()
+}
+
+// lookup returns the persisted evaluation for key, if any.
+func (ck *Checkpoint) lookup(key string) (checkpointEntry, bool) {
+	if ck == nil {
+		return checkpointEntry{}, false
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	e, ok := ck.entries[key]
+	return e, ok
+}
+
+// record persists one completed evaluation, rewriting the file every
+// checkpointFlushEvery new entries. A flush failure is a warning, not a
+// run failure: the exploration's result does not depend on the file.
+func (ck *Checkpoint) record(key string, c *Candidate) {
+	if ck == nil {
+		return
+	}
+	ck.mu.Lock()
+	if _, ok := ck.entries[key]; !ok {
+		ck.entries[key] = toCheckpointEntry(c)
+		ck.sinceFlush++
+	}
+	flush := ck.sinceFlush >= checkpointFlushEvery
+	if flush {
+		ck.sinceFlush = 0
+	}
+	ck.mu.Unlock()
+	if flush {
+		ck.Flush()
+	}
+}
+
+// Flush rewrites the checkpoint file atomically (temp file + rename).
+// Errors are reported as an obs warning and swallowed: losing a
+// checkpoint write must never kill the run it exists to protect.
+func (ck *Checkpoint) Flush() {
+	if ck == nil {
+		return
+	}
+	if err := ck.flush(); err != nil {
+		ck.obs.Counter("dse.checkpoint.write_errors").Inc()
+		ck.obs.Emit(obs.Event{Kind: "warning", Msg: fmt.Sprintf("checkpoint flush failed: %v", err)})
+	}
+}
+
+func (ck *Checkpoint) flush() error {
+	ck.mu.Lock()
+	f := ck.header
+	f.Entries = make(map[string]checkpointEntry, len(ck.entries))
+	for k, e := range ck.entries {
+		f.Entries[k] = e
+	}
+	inj := ck.inject
+	ck.mu.Unlock()
+	if err := inj.Hit(faultinject.Checkpoint); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&f, "", "  ") // map keys marshal sorted: deterministic bytes
+	if err != nil {
+		return err
+	}
+	tmp := ck.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, ck.path)
+}

@@ -37,14 +37,25 @@ func TestExploreContextCancelledBeforeStart(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if res != nil {
-		t.Fatalf("cancelled exploration returned a result: %+v", res)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PartialError", err)
+	}
+	if pe.Evaluated != 0 || pe.Total != 1 {
+		t.Fatalf("partial = %d/%d, want 0/1", pe.Evaluated, pe.Total)
+	}
+	if res == nil {
+		t.Fatal("cancelled exploration returned no result at all")
+	}
+	if len(res.Feasible) != 0 || res.Selected != -1 {
+		t.Fatalf("never-started exploration claims evaluations: %+v", res)
 	}
 }
 
 // TestExploreContextCancelMidRun cancels a paper-scale exploration
-// shortly after it starts and checks it aborts promptly, returns the
-// context error with no partial result, and leaks no goroutine.
+// shortly after it starts and checks it aborts promptly, returns a
+// *PartialError unwrapping to the context error alongside the salvaged
+// partial result, and leaks no goroutine.
 func TestExploreContextCancelMidRun(t *testing.T) {
 	cfg, err := DefaultConfig()
 	if err != nil {
@@ -62,8 +73,25 @@ func TestExploreContextCancelMidRun(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if res != nil {
-		t.Fatal("cancelled exploration returned a partial result")
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PartialError", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled exploration dropped the partial result")
+	}
+	if pe.Evaluated >= pe.Total {
+		t.Fatalf("mid-run cancellation evaluated %d/%d candidates", pe.Evaluated, pe.Total)
+	}
+	// Whatever did finish must be internally consistent: fronts only over
+	// evaluated candidates, selection only when a front exists.
+	for _, i := range res.Feasible {
+		if res.Candidates[i].Arch == nil {
+			t.Fatalf("feasible index %d points at a never-evaluated slot", i)
+		}
+	}
+	if len(res.Front3D) > 0 && res.Selected < 0 {
+		t.Fatal("non-empty front but no selection")
 	}
 	// The full exploration takes far longer than this bound; returning
 	// within it shows cancellation propagated into the in-flight

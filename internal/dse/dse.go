@@ -10,8 +10,10 @@ package dse
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/crypt"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/power"
@@ -101,6 +104,19 @@ type Config struct {
 	// transported value checked against the dataflow reference. The run
 	// is recorded under the "sim" span of Obs.
 	VerifySelected bool
+
+	// Checkpoint, when non-nil, restores completed evaluations recorded
+	// by a previous run of the same exploration and persists new ones as
+	// workers finish (see OpenCheckpoint). A resumed run produces
+	// byte-identical results to an uninterrupted one.
+	Checkpoint *Checkpoint
+
+	// Inject, when non-nil, arms deterministic fault injection across
+	// the exploration: candidate evaluations (faultinject.DSEEval), the
+	// annotator's ATPG runs and cache IO, and checkpoint writes. It is
+	// forwarded to the annotator unless the annotator carries its own.
+	// Nil (the default) costs nothing.
+	Inject *faultinject.Injector
 }
 
 // DefaultConfig returns the exploration used for the paper's figures: the
@@ -184,6 +200,9 @@ func (c *Config) fillDefaults() error {
 	if c.Annotator.ATPGWorkers == 0 {
 		c.Annotator.ATPGWorkers = c.atpgWorkerBudget()
 	}
+	if c.Annotator.Inject == nil {
+		c.Annotator.Inject = c.Inject
+	}
 	return nil
 }
 
@@ -225,6 +244,13 @@ type Candidate struct {
 	// Energy is the estimated switched-capacitance + leakage per
 	// application run (0 unless the exploration carries an energy model).
 	Energy float64
+
+	// Degraded marks a candidate whose test cost rests on the analytical
+	// SCOAP bound instead of measured ATPG patterns — the annotator's
+	// budget ran out (see testcost.Annotator.ATPGDeadline). Degraded
+	// test costs are pessimistic upper bounds; SelectionSpec's
+	// DegradedPolicy controls whether such points may win the selection.
+	Degraded bool
 }
 
 // Coords returns the (area, time, test) vector.
@@ -258,11 +284,19 @@ func Explore(cfg Config) (*Result, error) {
 	return ExploreContext(context.Background(), cfg)
 }
 
-// ExploreContext runs the full exploration under ctx: cancelling the
+// ExploreContext runs the full exploration under ctx. Cancelling the
 // context (or exceeding its deadline) stops the candidate evaluations —
 // including in-flight scheduling and gate-level ATPG runs — promptly and
-// returns ctx.Err() with no partial result and no leaked goroutine. When
-// cfg.Obs is set, the run is fully instrumented (see Config.Obs).
+// with no leaked goroutine; a panicking or failing candidate is isolated
+// to its own slot while the rest of the sweep continues. Whenever some
+// candidates finished and others did not (cancellation, per-candidate
+// errors, recovered panics), the result is still returned: fronts and
+// selection are computed over the evaluated candidates, and the error is
+// a *PartialError describing the holes, unwrapping to ctx.Err() for a
+// timeout so callers can tell "ran out of time" from "hit a bug". Only a
+// configuration error or an exploration with nothing usable returns a
+// nil result. When cfg.Obs is set, the run is fully instrumented (see
+// Config.Obs).
 func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		// No evaluation ran; still publish the gauge so every exit path
@@ -271,6 +305,7 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	reg := cfg.Obs
+	cfg.Checkpoint.bind(reg, cfg.Inject)
 	root := reg.StartSpan("dse")
 	defer root.End()
 	res := &Result{Config: cfg, Selected: -1}
@@ -296,14 +331,7 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	reg.Counter("dse.candidates.total").Add(int64(len(archs)))
 
 	errs := runEvaluations(ctx, &cfg, root, archs, res)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+	partial := partialErrorFor(ctx, archs, res, errs)
 	if hit, miss := reg.Counter("testcost.cache.hit").Value(), reg.Counter("testcost.cache.miss").Value(); hit+miss > 0 {
 		reg.Gauge("testcost.cache.hit_rate").Set(float64(hit) / float64(hit+miss))
 	}
@@ -313,7 +341,10 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	var pts2, pts3 []pareto.Point
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
-		if !c.Feasible {
+		// Fronts are built over candidates that evaluated cleanly:
+		// error'd slots may carry a half-filled evaluation, and
+		// never-started slots (cancelled feed) are zero values.
+		if !c.Feasible || errs[i] != nil || c.Arch == nil {
 			continue
 		}
 		res.Feasible = append(res.Feasible, i)
@@ -321,6 +352,9 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 		pts3 = append(pts3, pareto.Point{ID: i, Coords: c.Coords()})
 	}
 	if len(pts2) == 0 {
+		if partial != nil {
+			return res, partial
+		}
 		return res, fmt.Errorf("dse: no feasible candidate in the explored space")
 	}
 	for _, pi := range pareto.Front(pts2) {
@@ -339,7 +373,7 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	paretoSp.End()
 
-	if cfg.VerifySelected && res.Selected >= 0 {
+	if cfg.VerifySelected && res.Selected >= 0 && ctx.Err() == nil {
 		simSp := root.Child("sim")
 		err := verifySelected(ctx, &cfg, res)
 		simSp.End()
@@ -348,29 +382,95 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.Verified = true
 	}
+	if partial != nil {
+		return res, partial
+	}
 	return res, nil
+}
+
+// partialErrorFor tallies the holes an evaluation sweep left behind and
+// builds the *PartialError describing them — nil when every candidate
+// evaluated cleanly.
+func partialErrorFor(ctx context.Context, archs []*tta.Architecture, res *Result, errs []error) *PartialError {
+	evaluated, panics := 0, 0
+	var errMap map[int]error
+	for i, err := range errs {
+		switch {
+		case err != nil:
+			if errMap == nil {
+				errMap = make(map[int]error)
+			}
+			errMap[i] = err
+			var pe *EvalPanicError
+			if errors.As(err, &pe) {
+				panics++
+			}
+		case res.Candidates[i].Arch != nil:
+			evaluated++
+		}
+	}
+	if errMap == nil && evaluated == len(archs) && ctx.Err() == nil {
+		return nil
+	}
+	cause := ctx.Err()
+	if cause == nil {
+		cause = firstErr(errMap)
+	}
+	if cause == nil {
+		// No context error and no per-candidate error, yet holes remain —
+		// defensive; the feed loop only skips candidates on ctx.Done().
+		cause = fmt.Errorf("dse: %d candidates never evaluated", len(archs)-evaluated)
+	}
+	return &PartialError{
+		Total:     len(archs),
+		Evaluated: evaluated,
+		Panics:    panics,
+		Errs:      errMap,
+		Cause:     cause,
+	}
 }
 
 // runEvaluations evaluates every candidate over a bounded worker pool,
 // filling res.Candidates (indexed, so ordering is deterministic at any
-// parallelism) and returning the per-candidate errors. The
+// parallelism) and returning the per-candidate errors. Evaluations
+// recorded in cfg.Checkpoint are restored instead of recomputed, and new
+// completions are recorded back. A panicking evaluation is recovered
+// into its own error slot (*EvalPanicError); the sweep continues. The
 // "dse.worker.utilization" gauge is set on every exit path — including a
 // cancelled context or a candidate error surfacing to the caller.
 func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*tta.Architecture, res *Result) []error {
 	reg := cfg.Obs
+	res.Candidates = make([]Candidate, len(archs))
+	errs := make([]error, len(archs))
+
+	// Restore the finished prefix of an interrupted run before spinning
+	// up workers: restored slots never enter the feed.
+	restored := make([]bool, len(archs))
+	nRestored := 0
+	for i, arch := range archs {
+		if e, ok := cfg.Checkpoint.lookup(checkpointKey(arch)); ok {
+			res.Candidates[i] = e.candidate(arch)
+			restored[i] = true
+			nRestored++
+		}
+	}
+	if nRestored > 0 {
+		reg.Counter("dse.checkpoint.restored").Add(int64(nRestored))
+	}
+	defer cfg.Checkpoint.Flush()
+
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(archs) {
-		workers = len(archs)
+	if workers > len(archs)-nRestored {
+		workers = len(archs) - nRestored
 	}
 	reg.Gauge("dse.workers").Set(float64(workers))
-	res.Candidates = make([]Candidate, len(archs))
-	errs := make([]error, len(archs))
 	memo := newSchedMemo()
 	evalStart := time.Now()
 	var busyNS, completed atomic.Int64
+	completed.Store(int64(nRestored))
 	defer func() {
 		util := 0.0
 		if wall := time.Since(evalStart); wall > 0 && workers > 0 {
@@ -387,7 +487,7 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 			for i := range next {
 				t0 := time.Now()
 				sp := root.Child("evaluate")
-				res.Candidates[i], errs[i] = evaluate(ctx, cfg, archs[i], sp, memo)
+				res.Candidates[i], errs[i] = safeEvaluate(ctx, cfg, archs[i], sp, memo)
 				sp.End()
 				busyNS.Add(int64(time.Since(t0)))
 				if errs[i] == nil {
@@ -396,6 +496,7 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 					} else {
 						reg.Counter("dse.candidates.infeasible").Inc()
 					}
+					cfg.Checkpoint.record(checkpointKey(archs[i]), &res.Candidates[i])
 				}
 				n := int(completed.Add(1))
 				reg.Emit(obs.Event{
@@ -409,6 +510,9 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 	}
 feed:
 	for i := range archs {
+		if restored[i] {
+			continue
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():
@@ -418,6 +522,28 @@ feed:
 	close(next)
 	wg.Wait()
 	return errs
+}
+
+// safeEvaluate isolates one candidate evaluation: a panic anywhere under
+// it (scheduler, annotator, ATPG, injected chaos) is recovered into a
+// *EvalPanicError on that candidate's slot, counted on "dse.eval.panics"
+// and emitted as a "panic" event carrying the stack — the rest of the
+// sweep keeps running. The faultinject.DSEEval hit point fires here, so
+// every injection mode (error, panic, cancel, sleep) exercises the same
+// path real failures take.
+func safeEvaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span, memo *schedMemo) (cand Candidate, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &EvalPanicError{Arch: arch.Name, Value: r, Stack: debug.Stack()}
+			cand, err = Candidate{Arch: arch}, pe
+			cfg.Obs.Counter("dse.eval.panics").Inc()
+			cfg.Obs.Emit(obs.Event{Kind: "panic", Msg: fmt.Sprintf("%v\n%s", pe, pe.Stack)})
+		}
+	}()
+	if err := cfg.Inject.Hit(faultinject.DSEEval); err != nil {
+		return Candidate{Arch: arch}, err
+	}
+	return evaluate(ctx, cfg, arch, sp, memo)
 }
 
 // candidateEventMsg renders one progress-event line for a completed
@@ -550,6 +676,18 @@ func (m *schedMemo) get(ctx context.Context, cfg *Config, arch *tta.Architecture
 	m.m[key] = e
 	m.mu.Unlock()
 	cfg.Obs.Counter("dse.sched.memo.miss").Inc()
+	// The latch must settle even if the structural evaluation panics:
+	// variants of the same structure are blocked on e.done, and a leader
+	// that dies without closing it would strand them forever. The panic
+	// itself still propagates (safeEvaluate isolates it to the leader's
+	// candidate); the waiters get an ordinary error.
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("dse: structural evaluation of %s panicked: %v", arch.Name, r)
+			close(e.done)
+			panic(r)
+		}
+	}()
 	e.val, e.err = evalStructural(ctx, cfg, arch, sp)
 	close(e.done)
 	return e.val, e.err
@@ -639,6 +777,7 @@ func evaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.
 	}
 	cand.TestCost = cost.Total
 	cand.FullScan = cost.FullScanTotal
+	cand.Degraded = cost.Degraded
 	return cand, nil
 }
 

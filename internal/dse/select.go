@@ -17,11 +17,31 @@ type SelectionSpec struct {
 	// WA, WT, WC weight the area, execution-time and test-cost axes.
 	// All-zero means equal weights (1,1,1).
 	WA, WT, WC float64
+
+	// DegradedPolicy controls how candidates whose test cost is an
+	// analytical bound (Candidate.Degraded — the ATPG budget ran out)
+	// compete in the selection:
+	//
+	//   "" or "allow"  degraded points compete normally (the default,
+	//                  and the pre-budget behavior);
+	//   "penalize"     a degraded point's test-cost coordinate is
+	//                  multiplied by DegradedPenalty before the norm, so
+	//                  it wins only when clearly dominant elsewhere;
+	//   "exclude"      degraded points cannot win — unless every front
+	//                  member is degraded, in which case the selection
+	//                  falls back to the full front rather than failing.
+	DegradedPolicy string
+
+	// DegradedPenalty is the test-cost multiplier under "penalize".
+	// 0 means the default of 2; values below 1 are rejected (they would
+	// favor unmeasured points).
+	DegradedPenalty float64
 }
 
-// Validate reports whether the spec is usable: the norm must be known and
-// the weights non-negative with at least one positive (unless all are
-// zero, which means equal weights).
+// Validate reports whether the spec is usable: the norm and degraded
+// policy must be known, the weights non-negative with at least one
+// positive (unless all are zero, which means equal weights), and the
+// degraded penalty absent or at least 1.
 func (s SelectionSpec) Validate() error {
 	if _, err := s.norm(); err != nil {
 		return err
@@ -30,7 +50,23 @@ func (s SelectionSpec) Validate() error {
 		return fmt.Errorf("dse: selection weights must be non-negative (got wa=%g wt=%g wc=%g)",
 			s.WA, s.WT, s.WC)
 	}
+	switch s.DegradedPolicy {
+	case "", "allow", "penalize", "exclude":
+	default:
+		return fmt.Errorf("dse: unknown degraded policy %q (want allow, penalize or exclude)", s.DegradedPolicy)
+	}
+	if s.DegradedPenalty != 0 && s.DegradedPenalty < 1 {
+		return fmt.Errorf("dse: degraded penalty %g below 1 would favor unmeasured points", s.DegradedPenalty)
+	}
 	return nil
+}
+
+// degradedPenalty resolves the effective multiplier.
+func (s SelectionSpec) degradedPenalty() float64 {
+	if s.DegradedPenalty == 0 {
+		return 2
+	}
+	return s.DegradedPenalty
 }
 
 func (s SelectionSpec) norm() (pareto.Norm, error) {
@@ -56,7 +92,11 @@ func (s SelectionSpec) weights() []float64 {
 
 // Reselect re-runs the figure-9 selection over the existing 3-D front
 // under the given spec and updates r.Selected. The fronts themselves are
-// weight-independent and are not recomputed.
+// weight-independent and are not recomputed. The spec's DegradedPolicy
+// decides whether budget-degraded candidates (analytical test-cost
+// bounds) may win; under "exclude" with an all-degraded front the
+// selection falls back to the full front, so a partial result always
+// yields a pick.
 func (r *Result) Reselect(spec SelectionSpec) error {
 	if err := spec.Validate(); err != nil {
 		return err
@@ -68,9 +108,26 @@ func (r *Result) Reselect(spec SelectionSpec) error {
 	if err != nil {
 		return err
 	}
+	pool := r.Front3D
+	if spec.DegradedPolicy == "exclude" {
+		var measured []int
+		for _, i := range pool {
+			if !r.Candidates[i].Degraded {
+				measured = append(measured, i)
+			}
+		}
+		if len(measured) > 0 {
+			pool = measured
+		}
+	}
 	var pts []pareto.Point
-	for _, i := range r.Front3D {
-		pts = append(pts, pareto.Point{ID: i, Coords: r.Candidates[i].Coords()})
+	for _, i := range pool {
+		c := &r.Candidates[i]
+		coords := c.Coords()
+		if spec.DegradedPolicy == "penalize" && c.Degraded {
+			coords[2] *= spec.degradedPenalty()
+		}
+		pts = append(pts, pareto.Point{ID: i, Coords: coords})
 	}
 	best, err := pareto.Select(pts, spec.weights(), n)
 	if err != nil {

@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"repro/internal/faultinject"
 	"repro/internal/gatelib"
 )
 
@@ -78,11 +80,58 @@ func (e *CacheMismatchError) Error() string {
 	return fmt.Sprintf("testcost: annotation cache %s mismatch: file has %s, annotator wants %s", e.Field, e.Got, e.Want)
 }
 
+// CacheCorruptError reports a warm-start cache file that could not be
+// decoded or failed structural validation — truncation, bit flips, or
+// any IO failure while reading. The annotator is left unchanged; callers
+// (ttadse -cache) typically log a warning and continue cold, rewriting
+// the file after the run.
+type CacheCorruptError struct {
+	Reason string // what failed ("decode", "entry alu/16/ripple", ...)
+	Err    error  // underlying error, when one exists
+}
+
+func (e *CacheCorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("testcost: corrupt annotation cache (%s): %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("testcost: corrupt annotation cache (%s)", e.Reason)
+}
+
+func (e *CacheCorruptError) Unwrap() error { return e.Err }
+
+// validEntry rejects values no honest Save could have produced — the
+// cheap structural screen behind CacheCorruptError. JSON bit flips that
+// keep the syntax valid usually land here (negative counts, NaN/Inf
+// floats, coverage outside [0, 1]).
+func validEntry(e cacheEntry) error {
+	if e.NP < 0 || e.NL < 0 || e.ScanNP < 0 {
+		return fmt.Errorf("negative count (np=%d nl=%d scan_np=%d)", e.NP, e.NL, e.ScanNP)
+	}
+	for _, v := range [...]float64{e.Coverage, e.Area, e.Delay} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite float")
+		}
+	}
+	if e.Coverage < 0 || e.Coverage > 1 {
+		return fmt.Errorf("coverage %v outside [0, 1]", e.Coverage)
+	}
+	if e.Area < 0 || e.Delay < 0 {
+		return fmt.Errorf("negative area/delay")
+	}
+	return nil
+}
+
 // Save serializes the annotator's annotation cache (socket annotations
-// included — they are forced if not yet computed) as versioned JSON. Call
-// it after the evaluations sharing the annotator have finished; Save must
-// not run concurrently with Load.
+// included — they are forced if not yet computed) as versioned JSON.
+// Degraded annotations (analytical bounds from an exhausted ATPG budget)
+// are deliberately not persisted: a later run with a larger or absent
+// budget must re-measure them rather than warm-start from a bound. Call
+// Save after the evaluations sharing the annotator have finished; Save
+// must not run concurrently with Load.
 func (a *Annotator) Save(w io.Writer) error {
+	if err := a.Inject.Hit(faultinject.CacheWrite); err != nil {
+		return fmt.Errorf("testcost: writing annotation cache: %w", err)
+	}
 	if err := a.sockets(); err != nil {
 		return err
 	}
@@ -97,6 +146,9 @@ func (a *Annotator) Save(w io.Writer) error {
 	}
 	a.mu.Lock()
 	for k, an := range a.cache {
+		if an.degraded {
+			continue
+		}
 		f.Entries[k] = toEntry(an)
 	}
 	a.mu.Unlock()
@@ -107,13 +159,19 @@ func (a *Annotator) Save(w io.Writer) error {
 
 // Load populates the annotation cache from a warm-start file written by
 // Save. On a header mismatch (format version, library generation, width,
-// seed or march algorithm) it returns a *CacheMismatchError and changes
-// nothing. Entries merge into the live cache without overwriting existing
-// keys. Call Load before sharing the annotator across goroutines.
+// seed or march algorithm) it returns a *CacheMismatchError; on a file
+// that cannot be decoded or fails structural validation (truncation, bit
+// flips, IO errors) a *CacheCorruptError. In both cases the annotator is
+// unchanged — stale or damaged entries never mix into a fresh run.
+// Entries merge into the live cache without overwriting existing keys.
+// Call Load before sharing the annotator across goroutines.
 func (a *Annotator) Load(r io.Reader) error {
+	if err := a.Inject.Hit(faultinject.CacheRead); err != nil {
+		return &CacheCorruptError{Reason: "read", Err: err}
+	}
 	var f cacheFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return fmt.Errorf("testcost: decoding annotation cache: %w", err)
+		return &CacheCorruptError{Reason: "decode", Err: err}
 	}
 	for _, m := range []struct{ field, want, got string }{
 		{"format version", fmt.Sprint(CacheFormatVersion), fmt.Sprint(f.Version)},
@@ -124,6 +182,19 @@ func (a *Annotator) Load(r io.Reader) error {
 	} {
 		if m.want != m.got {
 			return &CacheMismatchError{Field: m.field, Want: m.want, Got: m.got}
+		}
+	}
+	for k, e := range f.Entries {
+		if err := validEntry(e); err != nil {
+			return &CacheCorruptError{Reason: fmt.Sprintf("entry %q", k), Err: err}
+		}
+	}
+	if f.Sockets != nil {
+		if err := validEntry(f.Sockets.In); err != nil {
+			return &CacheCorruptError{Reason: "socket in", Err: err}
+		}
+		if err := validEntry(f.Sockets.Out); err != nil {
+			return &CacheCorruptError{Reason: "socket out", Err: err}
 		}
 	}
 	loaded := 0

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/atpg"
+	"repro/internal/faultinject"
 	"repro/internal/gatelib"
 	"repro/internal/march"
 	"repro/internal/obs"
@@ -48,6 +49,13 @@ type ComponentCost struct {
 	// (LD/ST, PC, Immediate) and therefore drop out of the comparison, as
 	// in the paper.
 	Excluded bool
+
+	// Degraded marks a pattern count that is an analytical upper bound
+	// (atpg.EstimateBound) rather than a converged ATPG measurement: the
+	// component's budgeted ATPG run exhausted its wall-clock deadline
+	// (Annotator.ATPGDeadline). Degraded costs are pessimistic, never
+	// flattered — see DESIGN.md, "Degradation semantics".
+	Degraded bool
 }
 
 // OurCycles is the component's total functional-approach test time:
@@ -67,6 +75,10 @@ type ArchCost struct {
 	// FullScanTotal is the corresponding full-scan baseline over the same
 	// components.
 	FullScanTotal int
+	// Degraded reports that at least one cost-bearing (non-excluded)
+	// component's pattern count is an analytical bound, not a converged
+	// measurement — Total is then an upper bound on the true test cost.
+	Degraded bool
 }
 
 // annotation caches the architecture-independent properties of a library
@@ -78,6 +90,10 @@ type annotation struct {
 	scanNP   int // patterns used by the full-scan baseline
 	area     float64
 	delay    float64
+	// degraded marks np/scanNP/coverage as analytical bounds (the
+	// budgeted ATPG run did not converge); area and delay are always
+	// measured from the netlist and stay exact.
+	degraded bool
 }
 
 // Annotator back-annotates pattern counts from the gate-level library and
@@ -99,6 +115,21 @@ type Annotator struct {
 	// the two levels do not oversubscribe (dse.Config does this
 	// automatically). Results are identical at any setting.
 	ATPGWorkers int
+
+	// ATPGDeadline bounds the wall-clock time of each gate-level ATPG
+	// run behind a cache miss (0 = unbounded). A run that exhausts the
+	// budget degrades gracefully instead of failing: the component's
+	// pattern count falls back to the analytical SCOAP-derived upper
+	// bound (atpg.EstimateBound) and the annotation is marked degraded,
+	// which propagates through ComponentCost/ArchCost into the DSE
+	// candidate. Degraded annotations are never persisted to the
+	// warm-start cache, so a later unbudgeted run re-measures them.
+	ATPGDeadline time.Duration
+
+	// Inject, when non-nil, enables this annotator's chaos points —
+	// faultinject.CacheRead/CacheWrite around the warm-start cache IO —
+	// and is forwarded to the gate-level ATPG runs (atpg.Config.Inject).
+	Inject *faultinject.Injector
 
 	// Obs, when non-nil, receives annotation-cache counters —
 	// "testcost.cache.hit" (served from the completed cache),
@@ -159,15 +190,7 @@ func (a *Annotator) annotate(ctx context.Context, key string, gen func() (*gatel
 			a.inflight[key] = run
 			a.mu.Unlock()
 			a.Obs.Counter("testcost.cache.miss").Inc()
-			run.an, run.err = a.runAnnotation(ctx, gen)
-			a.mu.Lock()
-			if run.err == nil {
-				a.cache[key] = run.an
-			}
-			delete(a.inflight, key)
-			a.mu.Unlock()
-			close(run.done)
-			return run.an, run.err
+			return a.lead(ctx, key, run, gen)
 		}
 		a.mu.Unlock()
 		// Duplicate request: latch onto the in-flight run for this key.
@@ -192,16 +215,77 @@ func (a *Annotator) annotate(ctx context.Context, key string, gen func() (*gatel
 	}
 }
 
+// lead runs the in-flight annotation as the single-flight leader and
+// settles the latch on every exit path: success, error, or panic. A
+// panicking annotation (a crashing library generator, or an injected
+// chaos panic) must not strand the waiters — they receive the failure
+// through the latch while the panic itself propagates to the leader's
+// caller, where the DSE worker's recover isolates it to one candidate.
+func (a *Annotator) lead(ctx context.Context, key string, run *inflightRun, gen func() (*gatelib.Component, error)) (an annotation, err error) {
+	settled := false
+	settle := func() {
+		a.mu.Lock()
+		if run.err == nil {
+			a.cache[key] = run.an
+		}
+		delete(a.inflight, key)
+		a.mu.Unlock()
+		close(run.done)
+		settled = true
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if !settled {
+				run.err = fmt.Errorf("testcost: annotating %s panicked: %v", key, r)
+				settle()
+			}
+			panic(r)
+		}
+	}()
+	run.an, run.err = a.runAnnotation(ctx, gen)
+	settle()
+	return run.an, run.err
+}
+
 // runAnnotation generates the component and runs the gate-level ATPG — the
-// expensive part of a cache miss, executed without holding the lock.
+// expensive part of a cache miss, executed without holding the lock. When
+// the budgeted run exhausts Annotator.ATPGDeadline, the measured pattern
+// count is replaced by the analytical SCOAP bound and the annotation
+// marked degraded: deterministic (a pure function of the netlist, however
+// far the partial run got) and pessimistic (an upper bound, so degraded
+// candidates are never flattered).
 func (a *Annotator) runAnnotation(ctx context.Context, gen func() (*gatelib.Component, error)) (annotation, error) {
 	comp, err := gen()
 	if err != nil {
 		return annotation{}, err
 	}
-	res, err := atpg.RunContext(ctx, comp.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
+	res, err := atpg.RunContext(ctx, comp.Seq, atpg.Config{
+		Seed:     a.Seed,
+		Workers:  a.ATPGWorkers,
+		Deadline: a.ATPGDeadline,
+		Obs:      a.Obs,
+		Inject:   a.Inject,
+	})
 	if err != nil {
 		return annotation{}, err
+	}
+	if res.DeadlineExceeded {
+		b := atpg.EstimateBound(comp.Seq)
+		a.Obs.Counter("testcost.degraded").Inc()
+		a.Obs.Emit(obs.Event{
+			Kind: "degraded",
+			Msg: fmt.Sprintf("%s: ATPG deadline %v exhausted; using analytical bound np<=%d (measured %d patterns before expiry)",
+				comp.Seq.Name, a.ATPGDeadline, b.Patterns, res.NumPatterns()),
+		})
+		return annotation{
+			np:       b.Patterns,
+			nl:       comp.SeqFFs(),
+			coverage: b.Coverage(),
+			scanNP:   b.Patterns,
+			area:     comp.Seq.Area(),
+			delay:    comp.Seq.CriticalPath(),
+			degraded: true,
+		}, nil
 	}
 	return annotation{
 		np:       res.NumPatterns(),
@@ -231,6 +315,9 @@ func (a *Annotator) sockets() error {
 			a.sockErr = err
 			return
 		}
+		// Sockets are small enough to always converge quickly, so they run
+		// unbudgeted — a degraded socket annotation would taint every
+		// component's f_ts for little wall-clock gain.
 		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
 		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
 		a.sockIn = annotation{np: resIn.NumPatterns(), nl: in.SeqFFs(), coverage: resIn.Coverage()}
@@ -332,6 +419,7 @@ func (a *Annotator) EvaluateContext(ctx context.Context, arch *tta.Architecture)
 			NConn:         c.NumConnectors(),
 			NL:            an.nl + a.socketFFs(c),
 			FaultCoverage: an.coverage,
+			Degraded:      an.degraded,
 		}
 		cc.FullScanCycles = scan.TestCycles(an.scanNP, cc.NL)
 		switch c.Kind {
@@ -351,6 +439,9 @@ func (a *Annotator) EvaluateContext(ctx context.Context, arch *tta.Architecture)
 		if !cc.Excluded {
 			out.Total += cc.OurCycles()
 			out.FullScanTotal += cc.FullScanCycles
+			if cc.Degraded {
+				out.Degraded = true
+			}
 		}
 	}
 	return out, nil
