@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -92,7 +93,10 @@ func main() {
 	if *podemOnly {
 		cfg.MaxRandomPatterns = -1
 	}
-	res := atpg.Run(comp.Seq, cfg)
+	res, err := atpg.RunContext(context.Background(), comp.Seq, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	nl := scan.ChainLength(comp.Seq)
 	fmt.Printf("component     : %s (%s)\n", comp.Name, comp.Kind)
 	if *stats {
@@ -118,7 +122,10 @@ func main() {
 		target := comp.Seq
 		if comp.Comb != nil {
 			target = comp.Comb
-			res = atpg.Run(comp.Comb, cfg)
+			res, err = atpg.RunContext(context.Background(), comp.Comb, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		ev := atpg.EvaluateTDF(target, res.Patterns)
 		fmt.Printf("delay faults  : %d/%d transition faults covered by streaming the set (%.1f%%)\n",

@@ -42,11 +42,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/jobspec"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/testcost"
 	"repro/internal/tta"
-	"repro/internal/workloads"
 )
 
 func main() {
@@ -74,18 +74,29 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed evaluations are persisted there and restored on the next run")
 	flag.Parse()
 
-	cfg, err := dse.DefaultConfig()
-	if err != nil {
-		log.Fatal(err)
+	// The flags are a thin veneer over a jobspec.Spec — the same
+	// serializable description a ttadsed job submission carries — so CLI
+	// and daemon explorations are built by the one dse.FromSpec path.
+	if *atpgWorkers < 0 {
+		log.Fatalf("-atpg-workers %d is negative (use 0 for the automatic core-budget split)", *atpgWorkers)
+	}
+	spec := jobspec.Spec{
+		Workload:       *workload,
+		Norm:           *normFlag,
+		WA:             *wa,
+		WT:             *wt,
+		WC:             *wc,
+		DegradedPolicy: *degradedPolicy,
+		ATPGWorkers:    *atpgWorkers,
 	}
 	for _, lf := range []struct {
 		name string
 		raw  string
 		dst  *[]int
 	}{
-		{"buses", *busesFlag, &cfg.Buses},
-		{"alus", *alusFlag, &cfg.ALUCounts},
-		{"cmps", *cmpsFlag, &cfg.CMPCounts},
+		{"buses", *busesFlag, &spec.Buses},
+		{"alus", *alusFlag, &spec.ALUs},
+		{"cmps", *cmpsFlag, &spec.CMPs},
 	} {
 		if lf.raw == "" {
 			continue
@@ -96,13 +107,12 @@ func main() {
 		}
 		*lf.dst = vals
 	}
-	if err := setWorkload(&cfg, *workload); err != nil {
+	// FromSpec validates everything — workload, lists, norm, weights and
+	// degraded policy — before the exploration spends any time.
+	cfg, selSpec, err := dse.FromSpec(spec)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if *atpgWorkers < 0 {
-		log.Fatalf("-atpg-workers %d is negative (use 0 for the automatic core-budget split)", *atpgWorkers)
-	}
-	cfg.ATPGWorkers = *atpgWorkers
 
 	var reg *obs.Registry
 	if *metrics != "" || *progress {
@@ -113,11 +123,6 @@ func main() {
 		// The snapshot should cover every stage, including the final
 		// simulator cross-check of the selection.
 		cfg.VerifySelected = true
-	}
-	if *progress {
-		reg.Subscribe(func(ev obs.Event) {
-			fmt.Fprintf(os.Stderr, "ttadse: [%d/%d] %s\n", ev.N, ev.Total, ev.Msg)
-		})
 	}
 
 	// Warm-start cache: skip the gate-level ATPG back-annotation when a
@@ -177,13 +182,6 @@ func main() {
 		cfg.Checkpoint = ck
 	}
 
-	// Selection spec (norm, weights, degraded policy) validates before
-	// the exploration spends any time.
-	spec := dse.SelectionSpec{Norm: *normFlag, WA: *wa, WT: *wt, WC: *wc, DegradedPolicy: *degradedPolicy}
-	if err := spec.Validate(); err != nil {
-		log.Fatal(err)
-	}
-
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -191,9 +189,33 @@ func main() {
 		defer cancel()
 	}
 
+	// -progress consumes the typed event stream. The kinds printed —
+	// candidate, panic, degraded, warning — are exactly the obs kinds the
+	// flag historically subscribed to, so the stderr text is unchanged;
+	// the stream's extra kinds (restored, done) stay internal.
+	progressDone := make(chan struct{})
+	if *progress {
+		events := cfg.Events(ctx)
+		go func() {
+			defer close(progressDone)
+			for ev := range events {
+				switch ev.Kind {
+				case dse.EventCandidate, dse.EventPanic, dse.EventDegraded, dse.EventWarning:
+					fmt.Fprintf(os.Stderr, "ttadse: [%d/%d] %s\n", ev.N, ev.Total, ev.Msg)
+				}
+			}
+		}()
+	} else {
+		close(progressDone)
+	}
+
 	study := core.NewStudyWithConfig(cfg)
 	exitCode := 0
-	if err := study.ExploreContext(ctx); err != nil {
+	exploreErr := study.ExploreContext(ctx)
+	// The exploration has emitted its final ("done") event; wait for the
+	// printer to drain so progress lines never interleave with the report.
+	<-progressDone
+	if err := exploreErr; err != nil {
 		var partial *dse.PartialError
 		if !errors.As(err, &partial) {
 			log.Fatal(err)
@@ -224,7 +246,7 @@ func main() {
 	// Optional re-selection under custom weights/norm/degraded policy.
 	if *normFlag != "euclid" || *wa != 1 || *wt != 1 || *wc != 1 ||
 		(*degradedPolicy != "allow" && *degradedPolicy != "") {
-		if err := study.Reselect(spec); err != nil {
+		if err := study.Reselect(selSpec); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -322,45 +344,6 @@ func writeMetrics(reg *obs.Registry, path string) error {
 		w = f
 	}
 	return obs.JSONSink{W: w}.Emit(reg.Snapshot())
-}
-
-// setWorkload swaps the explored application kernel.
-func setWorkload(cfg *dse.Config, name string) error {
-	switch name {
-	case "crypt", "":
-		return nil // the default config already carries the crypt kernel
-	case "crc16":
-		g, err := workloads.CRC16(4, 0x40)
-		if err != nil {
-			return err
-		}
-		cfg.Workload = g
-		cfg.WorkloadReps = 1000
-	case "vecmax":
-		g, err := workloads.VecMax(16, 0x40)
-		if err != nil {
-			return err
-		}
-		cfg.Workload = g
-		cfg.WorkloadReps = 1000
-	case "countbelow":
-		g, err := workloads.CountBelow(12)
-		if err != nil {
-			return err
-		}
-		cfg.Workload = g
-		cfg.WorkloadReps = 1000
-	case "checksum":
-		g, err := workloads.Checksum(8, 0x40)
-		if err != nil {
-			return err
-		}
-		cfg.Workload = g
-		cfg.WorkloadReps = 1000
-	default:
-		return fmt.Errorf("unknown workload %q", name)
-	}
-	return nil
 }
 
 func printTable(study *core.Study, csv bool, gen func() (*report.Table, error)) {

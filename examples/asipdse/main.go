@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -90,7 +91,7 @@ func buildArch(alus, cmps int) *tta.Architecture {
 }
 
 func cycles(g *program.Graph, a *tta.Architecture) int {
-	res, err := sched.Schedule(g, a, sched.Options{})
+	res, err := sched.ScheduleContext(context.Background(), g, a, sched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

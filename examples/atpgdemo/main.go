@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 
 	alu, err := gatelib.NewALU(gatelib.ALUConfig{Width: 16, Adder: gatelib.AdderRipple})
@@ -29,7 +31,10 @@ func main() {
 	u := atpg.NewUniverse(alu.Seq)
 	fmt.Printf("fault universe: %d collapsed of %d raw (%.0f%%)\n",
 		len(u.Faults), u.Uncollapsed, 100*u.CollapseRatio())
-	res := atpg.Run(alu.Seq, atpg.Config{Seed: 7})
+	res, err := atpg.RunContext(ctx, alu.Seq, atpg.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("ATPG: %s\n", res)
 
 	// 2. Insert a scan chain and actually run one pattern through it.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 
 	study, err := core.NewStudy()
@@ -25,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("exploring the Crypt design space (this runs gate-level ATPG once per component)...")
-	if err := study.Explore(); err != nil {
+	if err := study.ExploreContext(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -65,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sched.Schedule(kernel, arch, sched.Options{})
+	res, err := sched.ScheduleContext(ctx, kernel, arch, sched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 
 	arch := &tta.Architecture{
@@ -60,7 +62,7 @@ func main() {
 	v1 := g.Load(g.Add(c(crypt.SPHiBase+64), idx1))
 	g.Output(g.Xor(v0, v1))
 
-	res, err := sched.Schedule(g, arch, sched.Options{})
+	res, err := sched.ScheduleContext(ctx, g, arch, sched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

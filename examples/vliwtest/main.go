@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	log.SetFlags(0)
 
 	// Back-annotate realistic pattern counts from the gate-level library
@@ -24,7 +26,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	npEU := atpg.Run(alu.Seq, atpg.Config{Seed: 7}).NumPatterns()
+	resEU, err := atpg.RunContext(ctx, alu.Seq, atpg.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	npEU := resEU.NumPatterns()
 	fmt.Printf("execution-unit pattern count (from ATPG): %d\n\n", npEU)
 
 	tbl := report.NewTable("Figure 7 extension: VLIW test-order exploration",

@@ -186,6 +186,10 @@ func (m *runMetrics) flush(r *obs.Registry, res *Result) {
 // Run executes the full ATPG flow on the netlist (full-scan view):
 // a seeded random-pattern phase with fault dropping, deterministic PODEM
 // top-up for the remaining faults, and reverse-order static compaction.
+//
+// Deprecated: Run is a thin shim over RunContext with a background
+// context; a long PODEM run then cannot be cancelled. Use RunContext
+// (with a background context the error is always nil).
 func Run(n *netlist.Netlist, cfg Config) *Result {
 	res, _ := RunContext(context.Background(), n, cfg)
 	return res

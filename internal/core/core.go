@@ -47,8 +47,11 @@ func NewStudyWithConfig(cfg dse.Config) *Study {
 	return &Study{Config: cfg}
 }
 
-// Explore runs the design space exploration (idempotent). It is a thin
-// wrapper over ExploreContext with a background context.
+// Explore runs the design space exploration (idempotent).
+//
+// Deprecated: Explore is a thin shim over ExploreContext with a
+// background context; the exploration then cannot be cancelled or
+// deadlined. Use ExploreContext.
 func (s *Study) Explore() error {
 	return s.ExploreContext(context.Background())
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/dse"
+	"repro/internal/report"
+)
+
+// JSONResult flattens the study's exploration into the machine-readable
+// report shape. spec is the selection spec the run (or the last
+// Reselect) used; pass the zero value for the default equal-weight
+// Euclid norm. The output is deterministic — candidates in enumeration
+// order, no timestamps or run identity — so byte-comparing two encodes
+// is a valid equality check between runs (the service's drain/resume
+// test relies on this).
+//
+// A partial result (the exploration was cancelled or deadlined) is
+// reported with Partial set and Missing counting the never-evaluated
+// slots; their candidates appear as infeasible placeholders with an
+// empty architecture name.
+func (s *Study) JSONResult(spec dse.SelectionSpec) (*report.JSONResult, error) {
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	r := s.Result
+	out := &report.JSONResult{
+		Width:      s.Config.Width,
+		Seed:       s.Config.Seed,
+		Candidates: make([]report.JSONCandidate, len(r.Candidates)),
+		Feasible:   append([]int{}, r.Feasible...),
+		Front2D:    append([]int{}, r.Front2D...),
+		Front3D:    append([]int{}, r.Front3D...),
+		Selected:   r.Selected,
+		Verified:   r.Verified,
+	}
+	if s.Config.Workload != nil {
+		out.Workload = s.Config.Workload.Name
+	}
+	if out.Width == 0 {
+		out.Width = 16
+	}
+	for i := range r.Candidates {
+		c := &r.Candidates[i]
+		jc := report.JSONCandidate{
+			Index:    i,
+			Feasible: c.Feasible,
+			Reason:   c.Reason,
+			Area:     c.Area,
+			Cycles:   c.Cycles,
+			Clock:    c.Clock,
+			ExecTime: c.ExecTime,
+			TestCost: c.TestCost,
+			FullScan: c.FullScan,
+			Spills:   c.Spills,
+			Energy:   c.Energy,
+			Degraded: c.Degraded,
+		}
+		if c.Arch != nil {
+			jc.Arch = c.Arch.Name
+		} else {
+			out.Missing++
+		}
+		out.Candidates[i] = jc
+	}
+	out.Partial = out.Missing > 0
+	if r.Selected >= 0 && r.Selected < len(r.Candidates) {
+		sel := &report.JSONSelection{
+			Index:           r.Selected,
+			Norm:            spec.Norm,
+			WA:              spec.WA,
+			WT:              spec.WT,
+			WC:              spec.WC,
+			DegradedPolicy:  spec.DegradedPolicy,
+			DegradedPenalty: spec.DegradedPenalty,
+		}
+		if a := r.Candidates[r.Selected].Arch; a != nil {
+			sel.Arch = a.Name
+		}
+		out.Selection = sel
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/jobspec"
+)
+
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	cfg, _, err := dse.FromSpec(jobspec.Spec{Buses: []int{1, 2}, ALUs: []int{1}, CMPs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStudyWithConfig(cfg)
+	if err := s.ExploreContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJSONResultShapeAndDeterminism(t *testing.T) {
+	s := smallStudy(t)
+	res, err := s.JSONResult(dse.SelectionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != len(s.Result.Candidates) {
+		t.Fatalf("candidates %d, want %d", len(res.Candidates), len(s.Result.Candidates))
+	}
+	if res.Partial || res.Missing != 0 {
+		t.Errorf("complete run marked partial (missing %d)", res.Missing)
+	}
+	if res.Selection == nil || res.Selection.Index != s.Result.Selected {
+		t.Fatalf("selection %+v, want index %d", res.Selection, s.Result.Selected)
+	}
+	if res.Selection.Arch == "" {
+		t.Error("selection arch name empty")
+	}
+	for i, c := range res.Candidates {
+		if c.Index != i {
+			t.Fatalf("candidate %d carries index %d", i, c.Index)
+		}
+		if c.Arch == "" {
+			t.Errorf("candidate %d has no arch name", i)
+		}
+	}
+
+	// Two encodes of independent runs over the same space must be
+	// byte-identical — the service's drain/resume contract.
+	b1, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := smallStudy(t).JSONResult(dse.SelectionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := res2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same-space runs encoded differently")
+	}
+}
+
+func TestJSONResultRequiresExploration(t *testing.T) {
+	s, err := NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.JSONResult(dse.SelectionSpec{}); err == nil {
+		t.Fatal("JSONResult before Explore must fail")
+	}
+}

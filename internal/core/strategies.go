@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -44,7 +45,10 @@ func StrategyTable(arch *tta.Architecture, seed int64, bistBudget int) (*report.
 		}
 		seen[comp.Name] = true
 
-		res := atpg.Run(comp.Seq, atpg.Config{Seed: seed})
+		res, err := atpg.RunContext(context.Background(), comp.Seq, atpg.Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
 		nl := scan.ChainLength(comp.Seq)
 		scanCycles := scan.TestCycles(res.NumPatterns(), nl)
 

@@ -89,6 +89,15 @@ type Config struct {
 	// identical at any setting (see atpg.Config.Workers).
 	ATPGWorkers int
 
+	// EventSink, when non-nil, receives the exploration's typed progress
+	// events (candidate/restored completions, isolated panics, degraded
+	// annotations, warnings, and a final "done") synchronously from the
+	// emitting goroutine — it must be fast and concurrency-safe. See
+	// Event for the schema, Config.Events for a channel adapter, and
+	// FrontTracker for a ready-made live-front consumer. A nil sink
+	// costs nothing.
+	EventSink func(Event)
+
 	// Obs, when non-nil, collects the exploration's metrics: per-stage
 	// spans (dse > enumerate/evaluate/pareto/sim with sched and atpg
 	// under evaluate), candidate counters, annotator cache hit rate,
@@ -194,13 +203,16 @@ func (c *Config) fillDefaults() error {
 	if c.Annotator == nil {
 		c.Annotator = testcost.NewAnnotator(c.Width, c.Seed)
 	}
-	if c.Annotator.Obs == nil {
+	// An annotator shared across concurrent explorations (the ttadsed
+	// pool) must be fully configured before sharing; the nil checks
+	// below then never write, so the shared fields are read-only here.
+	if c.Annotator.Obs == nil && c.Obs != nil {
 		c.Annotator.Obs = c.Obs
 	}
 	if c.Annotator.ATPGWorkers == 0 {
 		c.Annotator.ATPGWorkers = c.atpgWorkerBudget()
 	}
-	if c.Annotator.Inject == nil {
+	if c.Annotator.Inject == nil && c.Inject != nil {
 		c.Annotator.Inject = c.Inject
 	}
 	return nil
@@ -277,9 +289,11 @@ type Result struct {
 	Verified bool
 }
 
-// Explore runs the full exploration. It is a thin wrapper over
-// ExploreContext with a background context; new code should prefer
-// ExploreContext.
+// Explore runs the full exploration.
+//
+// Deprecated: Explore is a thin shim over ExploreContext with a
+// background context; it cannot be cancelled, deadlined or drained.
+// Use ExploreContext.
 func Explore(cfg Config) (*Result, error) {
 	return ExploreContext(context.Background(), cfg)
 }
@@ -298,6 +312,15 @@ func Explore(cfg Config) (*Result, error) {
 // nil result. When cfg.Obs is set, the run is fully instrumented (see
 // Config.Obs).
 func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
+	em := newEmitter(cfg.EventSink)
+	nEvents := &atomic.Int64{}
+	total := 0
+	// Every exploration ends its typed stream with exactly one "done"
+	// event, whatever the exit path — consumers (Config.Events, the
+	// daemon's stream endpoint) key their termination on it.
+	defer func() {
+		em.emit(Event{Kind: EventDone, N: int(nEvents.Load()), Total: total})
+	}()
 	if err := cfg.fillDefaults(); err != nil {
 		// No evaluation ran; still publish the gauge so every exit path
 		// leaves "dse.worker.utilization" set.
@@ -305,6 +328,10 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	reg := cfg.Obs
+	// Degraded-annotation and warning events surface through the obs
+	// stream (they originate below dse); bridge them into the typed
+	// stream for this run only.
+	defer em.bridgeObs(reg)()
 	cfg.Checkpoint.bind(reg, cfg.Inject)
 	root := reg.StartSpan("dse")
 	defer root.End()
@@ -328,9 +355,10 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	enumSp.End()
+	total = len(archs)
 	reg.Counter("dse.candidates.total").Add(int64(len(archs)))
 
-	errs := runEvaluations(ctx, &cfg, root, archs, res)
+	errs := runEvaluations(ctx, &cfg, root, archs, res, em, nEvents)
 	partial := partialErrorFor(ctx, archs, res, errs)
 	if hit, miss := reg.Counter("testcost.cache.hit").Value(), reg.Counter("testcost.cache.miss").Value(); hit+miss > 0 {
 		reg.Gauge("testcost.cache.hit_rate").Set(float64(hit) / float64(hit+miss))
@@ -438,13 +466,15 @@ func partialErrorFor(ctx context.Context, archs []*tta.Architecture, res *Result
 // into its own error slot (*EvalPanicError); the sweep continues. The
 // "dse.worker.utilization" gauge is set on every exit path — including a
 // cancelled context or a candidate error surfacing to the caller.
-func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*tta.Architecture, res *Result) []error {
+func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*tta.Architecture, res *Result, em *emitter, nEvents *atomic.Int64) []error {
 	reg := cfg.Obs
 	res.Candidates = make([]Candidate, len(archs))
 	errs := make([]error, len(archs))
 
 	// Restore the finished prefix of an interrupted run before spinning
-	// up workers: restored slots never enter the feed.
+	// up workers: restored slots never enter the feed. Each restore is
+	// announced on the typed stream (kind "restored"), so live-front
+	// consumers of a resumed run see the full picture.
 	restored := make([]bool, len(archs))
 	nRestored := 0
 	for i, arch := range archs {
@@ -452,6 +482,14 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 			res.Candidates[i] = e.candidate(arch)
 			restored[i] = true
 			nRestored++
+			em.emit(Event{
+				Kind:      EventRestored,
+				Msg:       candidateEventMsg(arch, &res.Candidates[i], nil),
+				N:         nRestored,
+				Total:     len(archs),
+				Candidate: candidateUpdate(i, arch, &res.Candidates[i], nil),
+			})
+			nEvents.Add(1)
 		}
 	}
 	if nRestored > 0 {
@@ -487,7 +525,7 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 			for i := range next {
 				t0 := time.Now()
 				sp := root.Child("evaluate")
-				res.Candidates[i], errs[i] = safeEvaluate(ctx, cfg, archs[i], sp, memo)
+				res.Candidates[i], errs[i] = safeEvaluate(ctx, cfg, archs[i], sp, memo, em)
 				sp.End()
 				busyNS.Add(int64(time.Since(t0)))
 				if errs[i] == nil {
@@ -499,9 +537,18 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 					cfg.Checkpoint.record(checkpointKey(archs[i]), &res.Candidates[i])
 				}
 				n := int(completed.Add(1))
+				msg := candidateEventMsg(archs[i], &res.Candidates[i], errs[i])
+				em.emit(Event{
+					Kind:      EventCandidate,
+					Msg:       msg,
+					N:         n,
+					Total:     len(archs),
+					Candidate: candidateUpdate(i, archs[i], &res.Candidates[i], errs[i]),
+				})
+				nEvents.Add(1)
 				reg.Emit(obs.Event{
 					Kind:  "candidate",
-					Msg:   candidateEventMsg(archs[i], &res.Candidates[i], errs[i]),
+					Msg:   msg,
 					N:     n,
 					Total: len(archs),
 				})
@@ -531,13 +578,15 @@ feed:
 // sweep keeps running. The faultinject.DSEEval hit point fires here, so
 // every injection mode (error, panic, cancel, sleep) exercises the same
 // path real failures take.
-func safeEvaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span, memo *schedMemo) (cand Candidate, err error) {
+func safeEvaluate(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span, memo *schedMemo, em *emitter) (cand Candidate, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			pe := &EvalPanicError{Arch: arch.Name, Value: r, Stack: debug.Stack()}
 			cand, err = Candidate{Arch: arch}, pe
 			cfg.Obs.Counter("dse.eval.panics").Inc()
-			cfg.Obs.Emit(obs.Event{Kind: "panic", Msg: fmt.Sprintf("%v\n%s", pe, pe.Stack)})
+			msg := fmt.Sprintf("%v\n%s", pe, pe.Stack)
+			em.emit(Event{Kind: EventPanic, Msg: msg})
+			cfg.Obs.Emit(obs.Event{Kind: "panic", Msg: msg})
 		}
 	}()
 	if err := cfg.Inject.Hit(faultinject.DSEEval); err != nil {

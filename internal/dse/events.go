@@ -1,0 +1,289 @@
+// Typed progress events: the public, structured view of a running
+// exploration. Config.EventSink receives every event synchronously;
+// Config.Events wraps the sink in a channel for select-style consumers
+// (the ttadse -progress flag, tests); FrontTracker folds candidate
+// events into a live Pareto-front snapshot (the ttadsed daemon's
+// GET /front endpoint).
+//
+// Event schema (stable, serialized as JSON by the daemon's event
+// stream):
+//
+//	seq        monotone 1-based sequence number within one exploration
+//	kind       "candidate" | "restored" | "panic" | "degraded" |
+//	           "warning" | "done"
+//	msg        human-readable one-liner (matches the historical
+//	           -progress stderr text)
+//	n, total   progress counters when known (n completed of total)
+//	candidate  the full evaluation record, on "candidate" and
+//	           "restored" events
+//
+// Kinds:
+//
+//   - "candidate": one evaluation finished (feasible, infeasible or
+//     error — see Candidate.Err).
+//   - "restored": one evaluation was restored from a checkpoint instead
+//     of recomputed; emitted before any live evaluation starts.
+//   - "panic": a candidate evaluation panicked and was isolated (the
+//     matching "candidate" event carries the error too).
+//   - "degraded": an annotation fell back to the analytical bound
+//     because its ATPG budget ran out (bridged from the obs stream).
+//   - "warning": a non-fatal infrastructure problem, e.g. a checkpoint
+//     flush failure (bridged from the obs stream).
+//   - "done": the exploration is over; always the final event, emitted
+//     on every exit path including configuration errors.
+package dse
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/pareto"
+	"repro/internal/tta"
+)
+
+// EventKind classifies a typed exploration event.
+type EventKind string
+
+// The event kinds, in the order a consumer typically sees them.
+const (
+	EventRestored  EventKind = "restored"
+	EventCandidate EventKind = "candidate"
+	EventPanic     EventKind = "panic"
+	EventDegraded  EventKind = "degraded"
+	EventWarning   EventKind = "warning"
+	EventDone      EventKind = "done"
+)
+
+// CandidateUpdate is the serializable record of one completed (or
+// restored) candidate evaluation — everything a consumer needs to build
+// live fronts or render progress without reaching into *Result.
+type CandidateUpdate struct {
+	Index    int     `json:"index"`
+	Arch     string  `json:"arch"`
+	Feasible bool    `json:"feasible"`
+	Reason   string  `json:"reason,omitempty"`
+	Area     float64 `json:"area,omitempty"`
+	Cycles   int     `json:"cycles,omitempty"`
+	Clock    float64 `json:"clock,omitempty"`
+	ExecTime float64 `json:"exec_time,omitempty"`
+	TestCost int     `json:"test_cost,omitempty"`
+	FullScan int     `json:"full_scan,omitempty"`
+	Spills   int     `json:"spills,omitempty"`
+	Energy   float64 `json:"energy,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// Event is one typed progress notification from a running exploration.
+// See the package comment of this file for the schema.
+type Event struct {
+	Seq       int64            `json:"seq"`
+	Kind      EventKind        `json:"kind"`
+	Msg       string           `json:"msg,omitempty"`
+	N         int              `json:"n,omitempty"`
+	Total     int              `json:"total,omitempty"`
+	Candidate *CandidateUpdate `json:"candidate,omitempty"`
+}
+
+// emitter stamps sequence numbers onto one exploration's event stream.
+// A nil emitter (no sink configured) is a no-op, mirroring obs.
+type emitter struct {
+	sink func(Event)
+	seq  atomic.Int64
+}
+
+func newEmitter(sink func(Event)) *emitter {
+	if sink == nil {
+		return nil
+	}
+	return &emitter{sink: sink}
+}
+
+func (e *emitter) emit(ev Event) {
+	if e == nil {
+		return
+	}
+	ev.Seq = e.seq.Add(1)
+	e.sink(ev)
+}
+
+// bridgeObs forwards the obs kinds dse does not emit natively
+// ("degraded" from the annotator, "warning" from checkpoint flushes)
+// into the typed stream, scoped to one exploration via the returned
+// cancel.
+func (e *emitter) bridgeObs(reg *obs.Registry) (cancel func()) {
+	if e == nil || reg == nil {
+		return func() {}
+	}
+	return reg.SubscribeCancel(func(oe obs.Event) {
+		switch oe.Kind {
+		case string(EventDegraded), string(EventWarning):
+			e.emit(Event{Kind: EventKind(oe.Kind), Msg: oe.Msg, N: oe.N, Total: oe.Total})
+		}
+	})
+}
+
+// candidateUpdate flattens one finished evaluation slot.
+func candidateUpdate(index int, arch *tta.Architecture, c *Candidate, err error) *CandidateUpdate {
+	u := &CandidateUpdate{
+		Index:    index,
+		Arch:     arch.Name,
+		Feasible: c.Feasible,
+		Reason:   c.Reason,
+		Area:     c.Area,
+		Cycles:   c.Cycles,
+		Clock:    c.Clock,
+		ExecTime: c.ExecTime,
+		TestCost: c.TestCost,
+		FullScan: c.FullScan,
+		Spills:   c.Spills,
+		Energy:   c.Energy,
+		Degraded: c.Degraded,
+	}
+	if err != nil {
+		u.Err = err.Error()
+		u.Feasible = false
+	}
+	return u
+}
+
+// Events installs a typed event stream on the config and returns its
+// receive side. The channel closes after the "done" event (every
+// exploration emits exactly one, on every exit path) or when ctx is
+// cancelled, whichever comes first, so a plain range loop terminates.
+// Any previously installed EventSink keeps receiving everything.
+//
+// Delivery is best-effort for a slow consumer: the channel is buffered
+// and a send that would block drops the event rather than stall the
+// worker pool ("done" never drops — the channel just closes). Consumers
+// needing every event (e.g. the daemon's stream endpoint) should install
+// a synchronous EventSink instead.
+func (c *Config) Events(ctx context.Context) <-chan Event {
+	ch := make(chan Event, 1024)
+	var mu sync.Mutex
+	closed := false
+	closeOnce := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if !closed {
+			closed = true
+			close(ch)
+		}
+	}
+	prev := c.EventSink
+	c.EventSink = func(ev Event) {
+		if prev != nil {
+			prev(ev)
+		}
+		mu.Lock()
+		if !closed {
+			select {
+			case ch <- ev:
+			default: // slow consumer: drop rather than block the sweep
+			}
+		}
+		done := ev.Kind == EventDone
+		mu.Unlock()
+		if done {
+			closeOnce()
+		}
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			closeOnce()
+		}()
+	}
+	return ch
+}
+
+// FrontTracker folds candidate events into a live Pareto-front snapshot,
+// so partial fronts are observable while an exploration is still
+// running — the dse-side hook behind the daemon's GET /front endpoint.
+// Install Observe as (or inside) Config.EventSink. All methods are safe
+// for concurrent use.
+type FrontTracker struct {
+	mu        sync.Mutex
+	total     int
+	evaluated int
+	feasible  []CandidateUpdate
+}
+
+// NewFrontTracker returns an empty tracker.
+func NewFrontTracker() *FrontTracker { return &FrontTracker{} }
+
+// Observe consumes one event ("candidate" and "restored" feed the
+// fronts; everything else only updates progress counters).
+func (t *FrontTracker) Observe(ev Event) {
+	if t == nil {
+		return
+	}
+	switch ev.Kind {
+	case EventCandidate, EventRestored:
+	default:
+		return
+	}
+	t.mu.Lock()
+	if ev.Total > t.total {
+		t.total = ev.Total
+	}
+	t.evaluated++
+	if c := ev.Candidate; c != nil && c.Feasible && c.Err == "" {
+		t.feasible = append(t.feasible, *c)
+	}
+	t.mu.Unlock()
+}
+
+// FrontSnapshot is a point-in-time view of the fronts over the
+// evaluations seen so far. Entries are ordered by candidate index, so
+// two snapshots over the same evaluations are deeply equal regardless of
+// completion order.
+type FrontSnapshot struct {
+	Total     int               `json:"total"`
+	Evaluated int               `json:"evaluated"`
+	Feasible  int               `json:"feasible"`
+	Front2D   []CandidateUpdate `json:"front2d"`
+	Front3D   []CandidateUpdate `json:"front3d"`
+}
+
+// Snapshot computes the current 2-D (area/time) and 3-D
+// (area/time/test) fronts over the feasible evaluations observed so far.
+func (t *FrontTracker) Snapshot() *FrontSnapshot {
+	s := &FrontSnapshot{}
+	if t == nil {
+		return s
+	}
+	t.mu.Lock()
+	s.Total = t.total
+	s.Evaluated = t.evaluated
+	s.Feasible = len(t.feasible)
+	cands := make([]CandidateUpdate, len(t.feasible))
+	copy(cands, t.feasible)
+	t.mu.Unlock()
+
+	pts2 := make([]pareto.Point, len(cands))
+	pts3 := make([]pareto.Point, len(cands))
+	for i, c := range cands {
+		pts2[i] = pareto.Point{ID: i, Coords: []float64{c.Area, c.ExecTime}}
+		pts3[i] = pareto.Point{ID: i, Coords: []float64{c.Area, c.ExecTime, float64(c.TestCost)}}
+	}
+	s.Front2D = frontMembers(cands, pts2)
+	s.Front3D = frontMembers(cands, pts3)
+	return s
+}
+
+func frontMembers(cands []CandidateUpdate, pts []pareto.Point) []CandidateUpdate {
+	if len(pts) == 0 {
+		return nil
+	}
+	idx := pareto.Front(pts)
+	out := make([]CandidateUpdate, 0, len(idx))
+	for _, pi := range idx {
+		out = append(out, cands[pts[pi].ID])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

@@ -1,0 +1,164 @@
+package dse
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+// smallSpec keeps event tests fast: 24 candidates (2 bus counts x 6 RF
+// sets x 2 assignment strategies).
+func smallSpec() jobspec.Spec {
+	return jobspec.Spec{Buses: []int{1, 2}, ALUs: []int{1}, CMPs: []int{1}, Parallelism: 2}
+}
+
+func TestEventStreamLifecycle(t *testing.T) {
+	cfg, _, err := FromSpec(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var sinkEvents []Event
+	cfg.EventSink = func(ev Event) {
+		mu.Lock()
+		sinkEvents = append(sinkEvents, ev)
+		mu.Unlock()
+	}
+	ch := cfg.Events(context.Background())
+	if _, err := ExploreContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Event
+	for ev := range ch { // must terminate via the done event
+		got = append(got, ev)
+	}
+	nCand, nDone := 0, 0
+	var last Event
+	for _, ev := range got {
+		switch ev.Kind {
+		case EventCandidate:
+			nCand++
+			if ev.Candidate == nil || ev.Candidate.Arch == "" {
+				t.Errorf("candidate event without payload: %+v", ev)
+			}
+			if ev.Total != 24 {
+				t.Errorf("candidate event total = %d, want 24", ev.Total)
+			}
+		case EventDone:
+			nDone++
+		}
+		last = ev
+	}
+	if nCand != 24 {
+		t.Errorf("got %d candidate events, want 24", nCand)
+	}
+	if nDone != 1 || last.Kind != EventDone {
+		t.Errorf("stream must end with exactly one done event (done=%d, last=%s)", nDone, last.Kind)
+	}
+	if last.N != 24 || last.Total != 24 {
+		t.Errorf("done event progress = %d/%d, want 24/24", last.N, last.Total)
+	}
+	// Sequence numbers are monotone and 1-based.
+	for i, ev := range got {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// The chained sink saw the same events.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sinkEvents) != len(got) {
+		t.Errorf("chained sink saw %d events, channel %d", len(sinkEvents), len(got))
+	}
+}
+
+func TestEventStreamDoneOnConfigError(t *testing.T) {
+	cfg, _, err := FromSpec(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = -1 // configuration error: no evaluation runs
+	ch := cfg.Events(context.Background())
+	if _, err := ExploreContext(context.Background(), cfg); err == nil {
+		t.Fatal("want configuration error")
+	}
+	var kinds []EventKind
+	for ev := range ch {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 1 || kinds[0] != EventDone {
+		t.Fatalf("config-error stream = %v, want exactly [done]", kinds)
+	}
+}
+
+func TestFrontTrackerLiveSnapshot(t *testing.T) {
+	cfg, _, err := FromSpec(jobspec.Spec{Buses: []int{1, 2, 3}, ALUs: []int{1, 2}, CMPs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewFrontTracker()
+	cfg.EventSink = tr.Observe
+	res, err := ExploreContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if snap.Evaluated != len(res.Candidates) {
+		t.Errorf("tracker evaluated %d, result has %d", snap.Evaluated, len(res.Candidates))
+	}
+	if snap.Feasible != len(res.Feasible) {
+		t.Errorf("tracker feasible %d, result has %d", snap.Feasible, len(res.Feasible))
+	}
+	// The tracker's final fronts must match the batch computation.
+	if len(snap.Front2D) != len(res.Front2D) || len(snap.Front3D) != len(res.Front3D) {
+		t.Fatalf("tracker fronts %d/%d, result fronts %d/%d",
+			len(snap.Front2D), len(snap.Front3D), len(res.Front2D), len(res.Front3D))
+	}
+	for k, i := range res.Front3D {
+		if snap.Front3D[k].Index != i {
+			t.Errorf("front3d[%d] = candidate %d, want %d", k, snap.Front3D[k].Index, i)
+		}
+		if snap.Front3D[k].TestCost != res.Candidates[i].TestCost {
+			t.Errorf("front3d[%d] test cost %d, want %d", k, snap.Front3D[k].TestCost, res.Candidates[i].TestCost)
+		}
+	}
+	// Empty tracker snapshots are valid and empty.
+	empty := NewFrontTracker().Snapshot()
+	if empty.Evaluated != 0 || len(empty.Front2D) != 0 {
+		t.Errorf("empty tracker snapshot: %+v", empty)
+	}
+}
+
+func TestObsBridgeScopedToRun(t *testing.T) {
+	// A degraded/warning obs event during the run is bridged into the
+	// typed stream; after the run the bridge is cancelled.
+	cfg, _, err := FromSpec(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	var mu sync.Mutex
+	var kinds []EventKind
+	cfg.EventSink = func(ev Event) {
+		mu.Lock()
+		kinds = append(kinds, ev.Kind)
+		mu.Unlock()
+	}
+	if _, err := ExploreContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(kinds)
+	mu.Unlock()
+	reg.Emit(obs.Event{Kind: "warning", Msg: "after the run"})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(kinds) != n {
+		t.Fatalf("obs bridge leaked past the exploration: %v", kinds[n:])
+	}
+}

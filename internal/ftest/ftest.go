@@ -9,6 +9,7 @@
 package ftest
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -173,7 +174,10 @@ func RunCampaign(comp *gatelib.Component, fu *tta.Component, buses int, mode Mod
 	if comp.Comb == nil {
 		return nil, fmt.Errorf("ftest: component %s has no combinational core", comp.Name)
 	}
-	res := atpg.Run(comp.Comb, cfg)
+	res, err := atpg.RunContext(context.Background(), comp.Comb, cfg)
+	if err != nil {
+		return nil, err
+	}
 	timing, err := MeasureTransport(fu, buses, res.NumPatterns(), mode)
 	if err != nil {
 		return nil, err

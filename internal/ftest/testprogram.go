@@ -1,6 +1,7 @@
 package ftest
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -244,12 +245,15 @@ func (c *ProgramCampaign) Coverage() float64 {
 // expensive; the subsample preserves the coverage estimate).
 func RunProgramCampaign(arch *tta.Architecture, compIdx int, comp *gatelib.Component, cfg atpg.Config, maxFaults int) (*ProgramCampaign, error) {
 	kind := arch.Components[compIdx].Kind
-	res := atpg.Run(comp.Comb, cfg)
+	res, err := atpg.RunContext(context.Background(), comp.Comb, cfg)
+	if err != nil {
+		return nil, err
+	}
 	tp, err := BuildTestProgram(kind, comp.Comb, res.Patterns, arch.Width)
 	if err != nil {
 		return nil, err
 	}
-	schedRes, err := sched.Schedule(tp.Graph, arch, sched.Options{})
+	schedRes, err := sched.ScheduleContext(context.Background(), tp.Graph, arch, sched.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+package jobspec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestZeroSpecValidates(t *testing.T) {
+	var s Spec
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero spec must validate (it is the default study): %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+		want string
+	}{
+		{"workload", Spec{Workload: "doom"}, "unknown workload"},
+		{"norm", Spec{Norm: "cosine"}, "unknown norm"},
+		{"policy", Spec{DegradedPolicy: "maybe"}, "unknown degraded policy"},
+		{"width", Spec{Width: -1}, "width"},
+		{"seed", Spec{Seed: -2}, "seed"},
+		{"weights", Spec{WA: -1}, "non-negative"},
+		{"penalty", Spec{DegradedPenalty: 0.5}, "penalty"},
+		{"timeout", Spec{Timeout: -1}, "timeout"},
+		{"atpg-deadline", Spec{ATPGDeadline: -1}, "atpg_deadline"},
+		{"parallelism", Spec{Parallelism: -1}, "parallelism"},
+		{"atpg-workers", Spec{ATPGWorkers: -1}, "atpg_workers"},
+		{"buses", Spec{Buses: []int{1, 0}}, "buses"},
+		{"alus", Spec{ALUs: []int{-3}}, "alus"},
+		{"cmps", Spec{CMPs: []int{2, 0}}, "cmps"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.s)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := Spec{
+		Workload:        "crc16",
+		Width:           16,
+		Seed:            7,
+		Buses:           []int{1, 2},
+		ALUs:            []int{1},
+		CMPs:            []int{1, 2},
+		Norm:            "manhattan",
+		WA:              2,
+		WT:              1,
+		WC:              0.5,
+		DegradedPolicy:  "penalize",
+		DegradedPenalty: 3,
+		Cache:           "/tmp/ann.json",
+		Checkpoint:      "/tmp/ck.json",
+		Timeout:         Duration(90 * time.Second),
+		ATPGDeadline:    Duration(250 * time.Millisecond),
+		Parallelism:     4,
+		ATPGWorkers:     2,
+		VerifySelected:  true,
+	}
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", in, out)
+	}
+	// Second hop must be byte-stable (the daemon echoes specs back).
+	data2, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-encoding changed bytes:\n%s\n%s", data, data2)
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"timeout":"1m30s","atpg_deadline":1500000}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Timeout.Std() != 90*time.Second {
+		t.Errorf("string duration: got %v", s.Timeout.Std())
+	}
+	if s.ATPGDeadline.Std() != 1500*time.Microsecond {
+		t.Errorf("numeric duration: got %v", s.ATPGDeadline.Std())
+	}
+	if err := json.Unmarshal([]byte(`{"timeout":"fast"}`), &s); err == nil {
+		t.Error("invalid duration string accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"timeout":true}`), &s); err == nil {
+		t.Error("boolean duration accepted")
+	}
+}
+
+func TestZeroSpecMarshalsEmpty(t *testing.T) {
+	data, err := json.Marshal(&Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Fatalf("zero spec must serialize to {} (all fields omitempty), got %s", data)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Spec{Buses: []int{4, 1, 4, 2}, ALUs: []int{3, 3}, CMPs: nil}
+	s.Normalize()
+	if !reflect.DeepEqual(s.Buses, []int{1, 2, 4}) || !reflect.DeepEqual(s.ALUs, []int{3}) || s.CMPs != nil {
+		t.Fatalf("normalize: %+v", s)
+	}
+	s.Normalize() // idempotent
+	if !reflect.DeepEqual(s.Buses, []int{1, 2, 4}) {
+		t.Fatalf("normalize not idempotent: %+v", s)
+	}
+}
+
+func TestAnnotatorKey(t *testing.T) {
+	var a, b Spec
+	b.Width, b.Seed = 16, 7
+	if a.AnnotatorKey() != b.AnnotatorKey() {
+		t.Errorf("default key %q != explicit-default key %q", a.AnnotatorKey(), b.AnnotatorKey())
+	}
+	c := Spec{ATPGDeadline: Duration(time.Millisecond)}
+	if c.AnnotatorKey() == a.AnnotatorKey() {
+		t.Error("budgeted and unbudgeted specs must not share an annotator")
+	}
+	d := Spec{Width: 8}
+	if d.AnnotatorKey() == a.AnnotatorKey() {
+		t.Error("different widths must not share an annotator")
+	}
+}

@@ -141,7 +141,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
-	subs     []func(Event)
+	subs     []*subscriber
 
 	root *spanNode
 }
@@ -203,27 +203,56 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// subscriber is one registered event consumer; a cancelled subscriber
+// stays in the slice (preserving delivery order for the others) but is
+// skipped by Emit.
+type subscriber struct {
+	fn        func(Event)
+	cancelled bool
+}
+
 // Subscribe registers fn to receive every subsequent Emit. Subscribers
 // are invoked synchronously from the emitting goroutine and must be fast
 // and concurrency-safe.
 func (r *Registry) Subscribe(fn func(Event)) {
-	if r == nil || fn == nil {
-		return
-	}
-	r.mu.Lock()
-	r.subs = append(r.subs, fn)
-	r.mu.Unlock()
+	r.SubscribeCancel(fn)
 }
 
-// Emit delivers ev to all subscribers. No-op on a nil registry.
+// SubscribeCancel registers fn like Subscribe and returns a cancel
+// function that stops further deliveries. Scoped consumers (one
+// exploration run bridging a shared registry, a streaming HTTP client
+// that disconnects) must cancel, or the registry keeps calling them for
+// its whole lifetime. Safe on a nil registry (the cancel is a no-op).
+func (r *Registry) SubscribeCancel(fn func(Event)) (cancel func()) {
+	if r == nil || fn == nil {
+		return func() {}
+	}
+	s := &subscriber{fn: fn}
+	r.mu.Lock()
+	r.subs = append(r.subs, s)
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		s.cancelled = true
+		r.mu.Unlock()
+	}
+}
+
+// Emit delivers ev to all live subscribers, in subscription order.
+// No-op on a nil registry.
 func (r *Registry) Emit(ev Event) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	subs := r.subs
+	fns := make([]func(Event), 0, len(r.subs))
+	for _, s := range r.subs {
+		if !s.cancelled {
+			fns = append(fns, s.fn)
+		}
+	}
 	r.mu.Unlock()
-	for _, fn := range subs {
+	for _, fn := range fns {
 		fn(ev)
 	}
 }

@@ -196,6 +196,10 @@ type opState struct {
 // Schedule maps the graph onto the architecture. It returns an error when
 // the architecture cannot execute the graph (missing unit kinds, too few
 // registers) or when scheduling exceeds the cycle bound.
+//
+// Deprecated: Schedule is a thin shim over ScheduleContext with a
+// background context; a pathological schedule then cannot be cancelled.
+// Use ScheduleContext.
 func Schedule(g *program.Graph, arch *tta.Architecture, opts Options) (*Result, error) {
 	return ScheduleContext(context.Background(), g, arch, opts)
 }

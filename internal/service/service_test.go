@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/faultinject"
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+// smallSpec explores 1 bus x 1 ALU x 1 CMP x 6 RF sets x 2 assigns = 12
+// candidates — enough structure for fronts, fast enough for tests.
+func smallSpec() jobspec.Spec {
+	return jobspec.Spec{Buses: []int{1}, ALUs: []int{1}, CMPs: []int{1}}
+}
+
+func waitTerminal(t *testing.T, j *Job) State {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not finish (state %s)", j.ID, j.State())
+	}
+	return j.State()
+}
+
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Bad submissions are rejected up front.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"doom"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad workload: status %d, want 400", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(smallSpec())
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" || st.State == "" {
+		t.Fatalf("submit: status %d, body %+v", resp.StatusCode, st)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Errorf("Location %q", loc)
+	}
+
+	// The event stream replays history and follows the run to "done".
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content-type %q", ct)
+	}
+	var events []dse.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev dse.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	resp.Body.Close()
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	last := events[len(events)-1]
+	if last.Kind != dse.EventDone {
+		t.Fatalf("final event %q, want done", last.Kind)
+	}
+	nCand := 0
+	for _, ev := range events {
+		if ev.Kind == dse.EventCandidate {
+			nCand++
+		}
+	}
+	if nCand != 12 {
+		t.Fatalf("streamed %d candidate events, want 12", nCand)
+	}
+
+	// Fronts are live (and final here, the stream just ended).
+	var front dse.FrontSnapshot
+	getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/front", http.StatusOK, &front)
+	if front.Evaluated != 12 || len(front.Front2D) == 0 || len(front.Front3D) == 0 {
+		t.Fatalf("front %+v", front)
+	}
+
+	// The result endpoint serves the deterministic report.
+	job, _ := srv.Job(st.ID)
+	if got := waitTerminal(t, job); got != StateDone {
+		t.Fatalf("state %s, want done", got)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(rep, job.Report()) {
+		t.Fatal("result endpoint bytes differ from the job's report")
+	}
+	var jr struct {
+		Candidates []json.RawMessage `json:"candidates"`
+		Selected   int               `json:"selected"`
+	}
+	if err := json.Unmarshal(rep, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Candidates) != 12 || jr.Selected < 0 {
+		t.Fatalf("report: %d candidates, selected %d", len(jr.Candidates), jr.Selected)
+	}
+
+	// Listing, status, health, metrics, 404.
+	var list []JobStatus
+	getJSON(t, ts.URL+"/v1/jobs", http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != st.ID || list[0].State != StateDone {
+		t.Fatalf("list %+v", list)
+	}
+	var h healthBody
+	getJSON(t, ts.URL+"/v1/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || h.Draining || h.Jobs != 1 {
+		t.Fatalf("health %+v", h)
+	}
+	var snap obs.Snapshot
+	getJSON(t, ts.URL+"/v1/metrics", http.StatusOK, &snap)
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	_, err := b.ReadFrom(resp.Body)
+	return b.Bytes(), err
+}
+
+func TestEventStreamSSE(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	job, err := srv.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+job.ID+"/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content-type %q", ct)
+	}
+	if !strings.Contains(string(body), "event: candidate\ndata: {") ||
+		!strings.Contains(string(body), "event: done\n") {
+		t.Fatalf("not SSE-framed:\n%.300s", body)
+	}
+}
+
+// TestConcurrentJobsShareWarmAnnotations is the shared-annotator race
+// test: two explorations over the same space run concurrently against
+// one process-wide annotator, and the second wave is served entirely
+// from the first wave's annotations (hit counters rise, miss counter
+// stays put). Run under -race this also proves the sharing is sound.
+func TestConcurrentJobsShareWarmAnnotations(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(Options{MaxConcurrent: 2, Obs: reg})
+
+	warm, err := srv.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, warm); st != StateDone {
+		t.Fatalf("warm-up job ended %s", st)
+	}
+	misses0 := reg.Counter("testcost.cache.miss").Value()
+	hits0 := reg.Counter("testcost.cache.hit").Value()
+	if misses0 == 0 {
+		t.Fatal("warm-up job annotated nothing")
+	}
+
+	a, err := srv.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := waitTerminal(t, a), waitTerminal(t, b); sa != StateDone || sb != StateDone {
+		t.Fatalf("concurrent jobs ended %s/%s", sa, sb)
+	}
+	if got, want := a.Report(), warm.Report(); !bytes.Equal(got, want) {
+		t.Fatal("concurrent job's report differs from the warm-up run")
+	}
+	if hits := reg.Counter("testcost.cache.hit").Value(); hits <= hits0 {
+		t.Fatalf("cache hits did not rise: %d -> %d", hits0, hits)
+	}
+	if misses := reg.Counter("testcost.cache.miss").Value(); misses != misses0 {
+		t.Fatalf("concurrent jobs re-annotated: misses %d -> %d", misses0, misses)
+	}
+	if n := len(srv.anns); n != 1 {
+		t.Fatalf("%d annotators in the pool, want 1 shared", n)
+	}
+}
+
+func TestAdmissionQueueAndOverflow(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.DSEEval, faultinject.Plan{Mode: faultinject.ModeSleep, Delay: 20 * time.Millisecond})
+	srv := NewServer(Options{MaxConcurrent: 1, QueueDepth: 1, Inject: inj})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := smallSpec()
+	spec.Parallelism = 1
+	running, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+
+	// Cancelling the queued job frees its slot without running it.
+	queued.Cancel()
+	if st := waitTerminal(t, queued); st != StateCancelled {
+		t.Fatalf("queued job ended %s, want cancelled", st)
+	}
+	if st := waitTerminal(t, running); st != StateDone {
+		t.Fatalf("running job ended %s", st)
+	}
+
+	// A result poll mid-run answers 202; after completion 200 (checked
+	// in the lifecycle test). And 409 for a cancelled job with no report.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancelled job result: status %d, want 409", resp.StatusCode)
+	}
+}

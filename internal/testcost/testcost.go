@@ -316,10 +316,12 @@ func (a *Annotator) sockets() error {
 			return
 		}
 		// Sockets are small enough to always converge quickly, so they run
-		// unbudgeted — a degraded socket annotation would taint every
-		// component's f_ts for little wall-clock gain.
-		resIn := atpg.Run(in.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
-		resOut := atpg.Run(out.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
+		// unbudgeted and under a background context — sync.Once makes a
+		// first-caller cancellation sticky for every later evaluation, so
+		// the socket ATPG must not be tied to one caller's ctx. With a
+		// background context and no deadline the error is always nil.
+		resIn, _ := atpg.RunContext(context.Background(), in.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
+		resOut, _ := atpg.RunContext(context.Background(), out.Seq, atpg.Config{Seed: a.Seed, Workers: a.ATPGWorkers, Obs: a.Obs})
 		a.sockIn = annotation{np: resIn.NumPatterns(), nl: in.SeqFFs(), coverage: resIn.Coverage()}
 		a.sockOut = annotation{np: resOut.NumPatterns(), nl: out.SeqFFs(), coverage: resOut.Coverage()}
 		a.sockNP = resIn.NumPatterns()
@@ -388,6 +390,10 @@ func (a *Annotator) componentAnnotation(ctx context.Context, c *tta.Component) (
 
 // Evaluate computes the full Table-1-style cost breakdown and the eq. (14)
 // total for an architecture. Ports must be assigned to buses.
+//
+// Deprecated: Evaluate is a thin shim over EvaluateContext with a
+// background context; the gate-level ATPG behind a cache miss then
+// cannot be cancelled. Use EvaluateContext.
 func (a *Annotator) Evaluate(arch *tta.Architecture) (*ArchCost, error) {
 	return a.EvaluateContext(context.Background(), arch)
 }
@@ -471,6 +477,9 @@ func rfCost(np, cd, nIn, nOut, buses int) int {
 
 // AreaDelay exposes the library's area and critical-path annotation for a
 // component (used by the DSE's area/throughput axes).
+//
+// Deprecated: AreaDelay is a thin shim over AreaDelayContext with a
+// background context. Use AreaDelayContext.
 func (a *Annotator) AreaDelay(c *tta.Component) (area, delay float64, err error) {
 	return a.AreaDelayContext(context.Background(), c)
 }
