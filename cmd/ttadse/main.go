@@ -26,6 +26,14 @@
 // -checkpoint persists completed evaluations to a file and resumes from
 // it after a kill, producing byte-identical output to an uninterrupted
 // run.
+//
+// Scale: -search switches from the exhaustive sweep to the guided
+// GA + successive-halving exploration over the widened parameter space
+// (tens of millions of candidate templates): every generation is
+// screened on the cheap analytical-bound tier and only the best
+// ceil(pop/eta) candidates receive full gate-level evaluation. Tune with
+// -search-pop, -search-gens, -search-eta and -search-seed; a fixed seed
+// reproduces the identical report at any parallelism.
 package main
 
 import (
@@ -72,6 +80,11 @@ func main() {
 	atpgDeadline := flag.Duration("atpg-deadline", 0, "wall-clock budget per gate-level ATPG run; on exhaustion the annotation degrades to an analytical upper bound (0 = none)")
 	degradedPolicy := flag.String("degraded-policy", "allow", "how budget-degraded candidates compete in the selection: allow, penalize or exclude")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed evaluations are persisted there and restored on the next run")
+	search := flag.Bool("search", false, "replace the exhaustive sweep with the guided GA + successive-halving exploration over the widened space (-buses/-alus/-cmps are then ignored)")
+	searchPop := flag.Int("search-pop", 0, "guided search: genomes per generation (0 = default 64)")
+	searchGens := flag.Int("search-gens", 0, "guided search: number of generations (0 = default 8)")
+	searchEta := flag.Int("search-eta", 0, "guided search: successive-halving ratio, top ceil(pop/eta) of each generation get full evaluation (0 = default 4)")
+	searchSeed := flag.Int64("search-seed", 0, "guided search: GA random seed (0 = follow the job seed)")
 	flag.Parse()
 
 	// The flags are a thin veneer over a jobspec.Spec — the same
@@ -88,6 +101,14 @@ func main() {
 		WC:             *wc,
 		DegradedPolicy: *degradedPolicy,
 		ATPGWorkers:    *atpgWorkers,
+	}
+	if *search || *searchPop != 0 || *searchGens != 0 || *searchEta != 0 || *searchSeed != 0 {
+		spec.Search = &jobspec.SearchSpec{
+			Population:  *searchPop,
+			Generations: *searchGens,
+			Eta:         *searchEta,
+			Seed:        *searchSeed,
+		}
 	}
 	for _, lf := range []struct {
 		name string

@@ -126,6 +126,15 @@ type Config struct {
 	// forwarded to the annotator unless the annotator carries its own.
 	// Nil (the default) costs nothing.
 	Inject *faultinject.Injector
+
+	// Search, when non-nil, replaces the exhaustive cross-product
+	// enumeration (Buses × ALUCounts × CMPCounts × RFSets × Assigns)
+	// with the guided GA + successive-halving exploration over the
+	// widened parameter space (see SearchSpec and SearchSpaceSize). Only
+	// the promoted survivors reach the full evaluation pipeline; events,
+	// checkpoints, fronts and selection behave exactly as in sweep mode,
+	// over the survivor list. The enumeration fields above are ignored.
+	Search *SearchSpec
 }
 
 // DefaultConfig returns the exploration used for the paper's figures: the
@@ -337,24 +346,41 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	defer root.End()
 	res := &Result{Config: cfg, Selected: -1}
 
-	// Enumerate the space, then evaluate candidates concurrently (the
-	// result slice is indexed, so ordering is deterministic).
-	enumSp := root.Child("enumerate")
+	// Produce the candidate list — exhaustive enumeration by default, the
+	// guided GA screen when Search is set — then evaluate concurrently
+	// (the result slice is indexed, so ordering is deterministic).
 	var archs []*tta.Architecture
-	id := 0
-	for _, buses := range cfg.Buses {
-		for _, nALU := range cfg.ALUCounts {
-			for _, nCMP := range cfg.CMPCounts {
-				for rfi, rfs := range cfg.RFSets {
-					for _, strat := range cfg.Assigns {
-						archs = append(archs, buildArch(cfg.Width, buses, nALU, nCMP, rfs, strat, id, rfi))
-						id++
+	if cfg.Search != nil {
+		spec := *cfg.Search
+		if err := spec.fillDefaults(cfg.Seed); err != nil {
+			cfg.Obs.Gauge("dse.worker.utilization").Set(0)
+			return nil, err
+		}
+		searchSp := root.Child("search")
+		var serr error
+		archs, serr = searchCandidates(ctx, &cfg, searchSp, spec)
+		searchSp.End()
+		if serr != nil {
+			cfg.Obs.Gauge("dse.worker.utilization").Set(0)
+			return nil, serr
+		}
+	} else {
+		enumSp := root.Child("enumerate")
+		id := 0
+		for _, buses := range cfg.Buses {
+			for _, nALU := range cfg.ALUCounts {
+				for _, nCMP := range cfg.CMPCounts {
+					for rfi, rfs := range cfg.RFSets {
+						for _, strat := range cfg.Assigns {
+							archs = append(archs, buildArch(cfg.Width, buses, nALU, nCMP, rfs, strat, id, rfi))
+							id++
+						}
 					}
 				}
 			}
 		}
+		enumSp.End()
 	}
-	enumSp.End()
 	total = len(archs)
 	reg.Counter("dse.candidates.total").Add(int64(len(archs)))
 
@@ -703,11 +729,23 @@ func newSchedMemo() *schedMemo {
 	return &schedMemo{m: make(map[string]*schedMemoEntry)}
 }
 
+// structEvalFn computes the structural part of a candidate evaluation —
+// evalStructural (exact annotations) or evalStructuralBound (the guided
+// search's cheap tier).
+type structEvalFn func(context.Context, *Config, *tta.Architecture, *obs.Span) (structEval, error)
+
 // get returns the structural evaluation for arch, computing it at most
 // once per structural signature ("dse.sched.memo.hit"/".miss" count the
 // reuse). sp is the requesting candidate's "evaluate" span; only the
 // computing request records "sched"/"atpg" children under it.
 func (m *schedMemo) get(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (structEval, error) {
+	return m.getWith(ctx, cfg, arch, sp, evalStructural)
+}
+
+// getWith is get with a pluggable structural evaluator. One memo
+// instance must stick to one evaluator — the full and cheap tiers use
+// separate memos, so a key never mixes fidelities.
+func (m *schedMemo) getWith(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span, fn structEvalFn) (structEval, error) {
 	key := structKey(arch)
 	m.mu.Lock()
 	e, ok := m.m[key]
@@ -737,7 +775,7 @@ func (m *schedMemo) get(ctx context.Context, cfg *Config, arch *tta.Architecture
 			panic(r)
 		}
 	}()
-	e.val, e.err = evalStructural(ctx, cfg, arch, sp)
+	e.val, e.err = fn(ctx, cfg, arch, sp)
 	close(e.done)
 	return e.val, e.err
 }
@@ -745,6 +783,18 @@ func (m *schedMemo) get(ctx context.Context, cfg *Config, arch *tta.Architecture
 // evalStructural schedules the kernel and derives area, clock and energy
 // for one structure — the memoized part of evaluate.
 func evalStructural(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (structEval, error) {
+	return evalStructuralWith(ctx, cfg, arch, sp, cfg.Annotator.AreaDelayContext)
+}
+
+// evalStructuralBound is evalStructural on the annotator's cheap tier:
+// identical scheduling, area and clock (both tiers measure them from the
+// netlist), but no gate-level ATPG behind the annotation — the guided
+// search screens generations with it.
+func evalStructuralBound(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span) (structEval, error) {
+	return evalStructuralWith(ctx, cfg, arch, sp, cfg.Annotator.AreaDelayBoundContext)
+}
+
+func evalStructuralWith(ctx context.Context, cfg *Config, arch *tta.Architecture, sp *obs.Span, areaDelay func(context.Context, *tta.Component) (float64, float64, error)) (structEval, error) {
 	// Throughput axis: schedule the kernel.
 	schedSp := sp.Child("sched")
 	schedRes, err := sched.ScheduleContext(ctx, cfg.Workload, arch, sched.Options{Obs: cfg.Obs})
@@ -767,7 +817,7 @@ func evalStructural(ctx context.Context, cfg *Config, arch *tta.Architecture, sp
 	area := 0.0
 	clock := cfg.BusDelay
 	for ci := range arch.Components {
-		ar, dl, err := cfg.Annotator.AreaDelayContext(ctx, &arch.Components[ci])
+		ar, dl, err := areaDelay(ctx, &arch.Components[ci])
 		if err != nil {
 			return structEval{}, err
 		}

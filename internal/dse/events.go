@@ -35,7 +35,6 @@ package dse
 
 import (
 	"context"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -205,18 +204,65 @@ func (c *Config) Events(ctx context.Context) <-chan Event {
 // running — the dse-side hook behind the daemon's GET /front endpoint.
 // Install Observe as (or inside) Config.EventSink. All methods are safe
 // for concurrent use.
+//
+// The tracker is built on pareto.StreamingFront: each feasible candidate
+// is inserted into two incremental dominance archives (area/time and
+// area/time/test) as its event arrives, dominated entries are evicted on
+// the spot, and only current front members are retained. Snapshot cost
+// and retained memory are therefore O(front size), independent of how
+// many candidates the job has evaluated — the property that keeps a
+// long-running daemon job's GET /front flat over a million-candidate
+// sweep. (The per-candidate bookkeeping is one bit in a seen-index
+// bitset, which also dedupes progress accounting: an event replayed for
+// an already-observed candidate index — e.g. a restored evaluation
+// re-emitted around a checkpoint resume — is counted once, so
+// "evaluated" can never pass "total".)
 type FrontTracker struct {
 	mu        sync.Mutex
 	total     int
 	evaluated int
-	feasible  []CandidateUpdate
+	feasible  int
+	rejected  int // NaN-coordinate candidates refused at the pareto boundary
+
+	seen    bitset
+	sf2     *pareto.StreamingFront
+	sf3     *pareto.StreamingFront
+	members map[int]*frontMember // candidate index -> update, while on either front
+
+	reg *obs.Registry
+}
+
+// frontMember refcounts one retained candidate: it may sit on the 2-D
+// front, the 3-D front, or both, and is released when evicted from its
+// last one.
+type frontMember struct {
+	upd  CandidateUpdate
+	refs int
 }
 
 // NewFrontTracker returns an empty tracker.
-func NewFrontTracker() *FrontTracker { return &FrontTracker{} }
+func NewFrontTracker() *FrontTracker {
+	return &FrontTracker{
+		sf2:     pareto.NewStreamingFront(2),
+		sf3:     pareto.NewStreamingFront(3),
+		members: make(map[int]*frontMember),
+	}
+}
+
+// NewFrontTrackerObs is NewFrontTracker with live metrics: the tracker
+// maintains "pareto.stream.inserts" / "pareto.stream.evictions"
+// counters and the "pareto.stream.front_size" gauge (distinct candidates
+// currently retained) on reg as events arrive.
+func NewFrontTrackerObs(reg *obs.Registry) *FrontTracker {
+	t := NewFrontTracker()
+	t.reg = reg
+	return t
+}
 
 // Observe consumes one event ("candidate" and "restored" feed the
-// fronts; everything else only updates progress counters).
+// fronts; everything else is ignored). Events carrying a candidate index
+// already observed are dropped: progress accounting and the fronts are
+// deduplicated by index.
 func (t *FrontTracker) Observe(ev Event) {
 	if t == nil {
 		return
@@ -226,15 +272,75 @@ func (t *FrontTracker) Observe(ev Event) {
 	default:
 		return
 	}
+	c := ev.Candidate
+	if c == nil {
+		return
+	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if ev.Total > t.total {
 		t.total = ev.Total
 	}
-	t.evaluated++
-	if c := ev.Candidate; c != nil && c.Feasible && c.Err == "" {
-		t.feasible = append(t.feasible, *c)
+	if t.seen.test(c.Index) {
+		return // replayed event for a candidate already accounted
 	}
-	t.mu.Unlock()
+	t.seen.set(c.Index)
+	t.evaluated++
+	if !c.Feasible || c.Err != "" {
+		return
+	}
+	t.feasible++
+	c2 := pareto.Point{ID: c.Index, Coords: []float64{c.Area, c.ExecTime}}
+	c3 := pareto.Point{ID: c.Index, Coords: []float64{c.Area, c.ExecTime, float64(c.TestCost)}}
+	if pareto.ValidateCoords(c3.Coords) != nil {
+		// NaN objective: rejecting at the boundary keeps dominance
+		// transitive inside the archives (see the pareto package policy).
+		t.rejected++
+		t.reg.Counter("pareto.stream.rejected").Inc()
+		return
+	}
+	t.insert(t.sf2, c2, c)
+	t.insert(t.sf3, c3, c)
+	t.reg.Gauge("pareto.stream.front_size").Set(float64(len(t.members)))
+}
+
+// insert offers one candidate to an archive and keeps the refcounted
+// member map in sync with acceptances and evictions.
+func (t *FrontTracker) insert(sf *pareto.StreamingFront, p pareto.Point, c *CandidateUpdate) {
+	accepted, evicted, err := sf.Insert(p)
+	if err != nil { // validated above; defensive
+		t.rejected++
+		return
+	}
+	if accepted {
+		t.reg.Counter("pareto.stream.inserts").Inc()
+		m := t.members[c.Index]
+		if m == nil {
+			m = &frontMember{upd: *c}
+			t.members[c.Index] = m
+		}
+		m.refs++
+	}
+	for _, id := range evicted {
+		t.reg.Counter("pareto.stream.evictions").Inc()
+		if m := t.members[id]; m != nil {
+			if m.refs--; m.refs <= 0 {
+				delete(t.members, id)
+			}
+		}
+	}
+}
+
+// Progress reports the deduplicated counters: candidates evaluated (each
+// index once, however many times its event was delivered) and the
+// largest announced total.
+func (t *FrontTracker) Progress() (evaluated, total int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evaluated, t.total
 }
 
 // FrontSnapshot is a point-in-time view of the fronts over the
@@ -249,41 +355,69 @@ type FrontSnapshot struct {
 	Front3D   []CandidateUpdate `json:"front3d"`
 }
 
-// Snapshot computes the current 2-D (area/time) and 3-D
-// (area/time/test) fronts over the feasible evaluations observed so far.
+// Snapshot returns the current 2-D (area/time) and 3-D (area/time/test)
+// fronts over the feasible evaluations observed so far. The fronts are
+// maintained incrementally, so the cost is O(front size) — no rescan of
+// the evaluated set, whose updates are not even retained.
 func (t *FrontTracker) Snapshot() *FrontSnapshot {
 	s := &FrontSnapshot{}
 	if t == nil {
 		return s
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	s.Total = t.total
 	s.Evaluated = t.evaluated
-	s.Feasible = len(t.feasible)
-	cands := make([]CandidateUpdate, len(t.feasible))
-	copy(cands, t.feasible)
-	t.mu.Unlock()
-
-	pts2 := make([]pareto.Point, len(cands))
-	pts3 := make([]pareto.Point, len(cands))
-	for i, c := range cands {
-		pts2[i] = pareto.Point{ID: i, Coords: []float64{c.Area, c.ExecTime}}
-		pts3[i] = pareto.Point{ID: i, Coords: []float64{c.Area, c.ExecTime, float64(c.TestCost)}}
-	}
-	s.Front2D = frontMembers(cands, pts2)
-	s.Front3D = frontMembers(cands, pts3)
+	s.Feasible = t.feasible
+	s.Front2D = t.frontMembers(t.sf2)
+	s.Front3D = t.frontMembers(t.sf3)
 	return s
 }
 
-func frontMembers(cands []CandidateUpdate, pts []pareto.Point) []CandidateUpdate {
-	if len(pts) == 0 {
+// frontMembers materializes one archive's members in candidate-index
+// order. Called with t.mu held.
+func (t *FrontTracker) frontMembers(sf *pareto.StreamingFront) []CandidateUpdate {
+	ids := sf.IDs() // ascending, may repeat for duplicate coordinate vectors
+	if len(ids) == 0 {
 		return nil
 	}
-	idx := pareto.Front(pts)
-	out := make([]CandidateUpdate, 0, len(idx))
-	for _, pi := range idx {
-		out = append(out, cands[pts[pi].ID])
+	out := make([]CandidateUpdate, 0, len(ids))
+	prev := -1
+	for _, id := range ids {
+		if id == prev {
+			continue // one snapshot row per candidate index
+		}
+		prev = id
+		if m := t.members[id]; m != nil {
+			out = append(out, m.upd)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
 	return out
+}
+
+// bitset is a growable set of small non-negative integers — one bit per
+// candidate index, so deduping a million-candidate run costs ~125 KiB
+// instead of retaining a map of evaluations.
+type bitset []uint64
+
+func (b *bitset) set(i int) {
+	if i < 0 {
+		return
+	}
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+func (b bitset) test(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)&63)) != 0
 }

@@ -2,6 +2,7 @@ package dse
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 
@@ -130,6 +131,108 @@ func TestFrontTrackerLiveSnapshot(t *testing.T) {
 	empty := NewFrontTracker().Snapshot()
 	if empty.Evaluated != 0 || len(empty.Front2D) != 0 {
 		t.Errorf("empty tracker snapshot: %+v", empty)
+	}
+}
+
+// TestFrontTrackerDedupesByIndex is the accounting regression test: a
+// checkpoint-resumed job can see the same candidate index delivered more
+// than once (a restored event replayed around a resume, or a restored
+// entry whose candidate later also completes live). The tracker must
+// count every index exactly once, so the status endpoint can never
+// report evaluated > total.
+func TestFrontTrackerDedupesByIndex(t *testing.T) {
+	tr := NewFrontTracker()
+	upd := func(i int, area, et float64, tc int) *CandidateUpdate {
+		return &CandidateUpdate{Index: i, Arch: "a", Feasible: true, Area: area, ExecTime: et, TestCost: tc}
+	}
+	// 3 distinct candidates, total 3 — but 6 deliveries: each index
+	// arrives once as "restored" and once more as "candidate".
+	for _, ev := range []Event{
+		{Kind: EventRestored, Total: 3, Candidate: upd(0, 10, 10, 10)},
+		{Kind: EventRestored, Total: 3, Candidate: upd(1, 5, 20, 10)},
+		{Kind: EventCandidate, Total: 3, Candidate: upd(0, 10, 10, 10)},
+		{Kind: EventCandidate, Total: 3, Candidate: upd(2, 20, 5, 10)},
+		{Kind: EventCandidate, Total: 3, Candidate: upd(1, 5, 20, 10)},
+		{Kind: EventRestored, Total: 3, Candidate: upd(2, 20, 5, 10)},
+	} {
+		tr.Observe(ev)
+	}
+	evaluated, total := tr.Progress()
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	if evaluated > total {
+		t.Fatalf("evaluated %d > total %d: resume double-counting", evaluated, total)
+	}
+	if evaluated != 3 {
+		t.Fatalf("evaluated = %d, want 3 (each index once)", evaluated)
+	}
+	snap := tr.Snapshot()
+	if snap.Evaluated != 3 || snap.Feasible != 3 {
+		t.Fatalf("snapshot evaluated/feasible = %d/%d, want 3/3", snap.Evaluated, snap.Feasible)
+	}
+	if len(snap.Front2D) != 3 {
+		t.Fatalf("front2d %d members, want 3 (no duplicated rows)", len(snap.Front2D))
+	}
+}
+
+// TestFrontTrackerMemoryIsFrontBound asserts the unbounded-memory fix:
+// after observing many dominated candidates, the tracker retains only
+// current front members (plus the one-bit-per-index seen set), not every
+// feasible CandidateUpdate — and Snapshot no longer recomputes a batch
+// pareto.Front over the evaluated set.
+func TestFrontTrackerMemoryIsFrontBound(t *testing.T) {
+	tr := NewFrontTracker()
+	const n = 50000
+	// Every candidate is feasible; coordinates improve with the index, so
+	// each new point evicts the previous one and the live front stays at
+	// size 1 while n candidates stream through.
+	for i := 0; i < n; i++ {
+		v := float64(n - i)
+		tr.Observe(Event{Kind: EventCandidate, Total: n, Candidate: &CandidateUpdate{
+			Index: i, Arch: "a", Feasible: true, Area: v, ExecTime: v, TestCost: int(v),
+		}})
+	}
+	if got := len(tr.members); got != 1 {
+		t.Fatalf("tracker retains %d candidate updates after %d evaluations; want 1 (front size)", got, n)
+	}
+	if s2, s3 := tr.sf2.Size(), tr.sf3.Size(); s2 != 1 || s3 != 1 {
+		t.Fatalf("archive sizes %d/%d, want 1/1", s2, s3)
+	}
+	snap := tr.Snapshot()
+	if snap.Evaluated != n || snap.Feasible != n {
+		t.Fatalf("snapshot evaluated/feasible = %d/%d, want %d/%d", snap.Evaluated, snap.Feasible, n, n)
+	}
+	if len(snap.Front2D) != 1 || snap.Front2D[0].Index != n-1 {
+		t.Fatalf("front2d = %+v, want the single best candidate %d", snap.Front2D, n-1)
+	}
+	// The seen set is a bitset: one bit per index, not a map of updates.
+	if words := len(tr.seen); words > n/64+2 {
+		t.Fatalf("seen bitset has %d words for %d candidates", words, n)
+	}
+}
+
+// TestFrontTrackerRejectsNaN: a candidate with a NaN objective (e.g. a
+// corrupted degraded annotation) must not poison the live fronts — it is
+// refused at the pareto boundary and counted, while accounting proceeds.
+func TestFrontTrackerRejectsNaN(t *testing.T) {
+	tr := NewFrontTracker()
+	nan := math.NaN()
+	tr.Observe(Event{Kind: EventCandidate, Total: 2, Candidate: &CandidateUpdate{
+		Index: 0, Arch: "bad", Feasible: true, Area: nan, ExecTime: 1, TestCost: 1,
+	}})
+	tr.Observe(Event{Kind: EventCandidate, Total: 2, Candidate: &CandidateUpdate{
+		Index: 1, Arch: "ok", Feasible: true, Area: 1, ExecTime: 1, TestCost: 1,
+	}})
+	snap := tr.Snapshot()
+	if snap.Evaluated != 2 || snap.Feasible != 2 {
+		t.Fatalf("accounting = %d/%d, want 2/2", snap.Evaluated, snap.Feasible)
+	}
+	if len(snap.Front2D) != 1 || snap.Front2D[0].Index != 1 {
+		t.Fatalf("front2d = %+v, want only the finite candidate", snap.Front2D)
+	}
+	if tr.rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", tr.rejected)
 	}
 }
 

@@ -1,0 +1,194 @@
+package dse
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/testcost"
+)
+
+// searchTestConfig returns a small guided exploration sharing ann (so
+// repeated runs in one test reuse the ATPG cache).
+func searchTestConfig(ann *testcost.Annotator, parallelism int) (Config, error) {
+	cfg, err := DefaultConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Annotator = ann
+	cfg.Parallelism = parallelism
+	cfg.Search = &SearchSpec{Population: 12, Generations: 3, Eta: 3, Seed: 99}
+	return cfg, nil
+}
+
+func TestSearchSpaceSize(t *testing.T) {
+	// 16 buses x 8 ALUs x 4 CMPs x 2 adders x 3 assigns x 9138 RF
+	// multisets (36 shapes, sizes 1..3: 36 + 666 + 8436).
+	const want = 28071936
+	if got := SearchSpaceSize(); got != want {
+		t.Fatalf("SearchSpaceSize() = %d, want %d", got, want)
+	}
+}
+
+// TestGenomeOperatorsStayInRange: every genome the GA can produce is
+// well-formed — genes in range, 1..3 register files, canonical order.
+func TestGenomeOperatorsStayInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(g genome) {
+		t.Helper()
+		if g.buses < 1 || g.buses > searchMaxBuses {
+			t.Fatalf("buses %d out of range", g.buses)
+		}
+		if g.alus < 1 || g.alus > searchMaxALUs {
+			t.Fatalf("alus %d out of range", g.alus)
+		}
+		if g.cmps < 1 || g.cmps > searchMaxCMPs {
+			t.Fatalf("cmps %d out of range", g.cmps)
+		}
+		if len(g.rfs) < 1 || len(g.rfs) > searchMaxRFs {
+			t.Fatalf("%d register files", len(g.rfs))
+		}
+		for i, rf := range g.rfs {
+			if rf.In < 1 || rf.In > searchMaxIn || rf.Out < 1 || rf.Out > searchMaxOut {
+				t.Fatalf("rf ports %+v out of range", rf)
+			}
+			if i > 0 {
+				p := g.rfs[i-1]
+				if p.Regs > rf.Regs || (p.Regs == rf.Regs && (p.In > rf.In || (p.In == rf.In && p.Out > rf.Out))) {
+					t.Fatalf("rfs not canonical: %v", g.rfs)
+				}
+			}
+		}
+		if a := g.arch(16, 0); a.Validate() != nil || !a.Assigned() {
+			t.Fatalf("genome %s builds an invalid architecture", g.key())
+		}
+	}
+	prev := randGenome(rng)
+	check(prev)
+	for i := 0; i < 500; i++ {
+		g := randGenome(rng)
+		check(g)
+		check(crossover(rng, prev, g))
+		check(mutate(rng, g))
+		prev = g
+	}
+	// The canonical key collapses RF permutations.
+	a := genome{buses: 2, alus: 1, cmps: 1, rfs: []RFSpec{{8, 1, 1}, {16, 2, 2}}}
+	b := genome{buses: 2, alus: 1, cmps: 1, rfs: []RFSpec{{16, 2, 2}, {8, 1, 1}}}
+	a.canon()
+	b.canon()
+	if a.key() != b.key() {
+		t.Fatalf("RF permutations have distinct keys: %s vs %s", a.key(), b.key())
+	}
+}
+
+// TestSearchDeterministicAcrossParallelism is the acceptance property:
+// a fixed seed yields identical survivors, measurements, fronts and
+// selection at any Parallelism.
+func TestSearchDeterministicAcrossParallelism(t *testing.T) {
+	ann := testcost.NewAnnotator(16, 7)
+	type runResult struct {
+		names  []string
+		coords [][]float64
+		front2 []int
+		front3 []int
+		sel    int
+	}
+	run := func(parallelism int) runResult {
+		t.Helper()
+		cfg, err := searchTestConfig(ann, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ExploreContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := runResult{front2: res.Front2D, front3: res.Front3D, sel: res.Selected}
+		for i := range res.Candidates {
+			c := &res.Candidates[i]
+			out.names = append(out.names, c.Arch.Name)
+			out.coords = append(out.coords, c.Coords())
+		}
+		return out
+	}
+	serial := run(1)
+	wide := run(8)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("guided search differs across parallelism:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+	if len(serial.names) == 0 {
+		t.Fatal("search promoted no candidates")
+	}
+}
+
+// TestSearchCountersAndScreen: the search bookkeeping adds up — one
+// generation counter per generation, promoted + pruned covering the full
+// genome budget, promoted equaling the full-evaluation candidate list,
+// and the cheap screen touching every genome without a single full-tier
+// ATPG miss beyond the survivors' components.
+func TestSearchCountersAndScreen(t *testing.T) {
+	cfg, err := searchTestConfig(testcost.NewAnnotator(16, 7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	tr := NewFrontTrackerObs(reg)
+	cfg.EventSink = tr.Observe
+	res, err := ExploreContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := *cfg.Search
+	if got := reg.Counter("dse.search.generations").Value(); got != int64(spec.Generations) {
+		t.Errorf("generations counter = %d, want %d", got, spec.Generations)
+	}
+	budget := int64(spec.Population * spec.Generations)
+	promoted := reg.Counter("dse.search.promoted").Value()
+	pruned := reg.Counter("dse.search.pruned").Value()
+	if promoted+pruned != budget {
+		t.Errorf("promoted %d + pruned %d != genome budget %d", promoted, pruned, budget)
+	}
+	if int64(len(res.Candidates)) != promoted {
+		t.Errorf("%d full-tier candidates, %d promoted", len(res.Candidates), promoted)
+	}
+	if got := reg.Counter("dse.search.cheap_evals").Value(); got != budget {
+		t.Errorf("cheap_evals = %d, want %d", got, budget)
+	}
+	if reg.Counter("testcost.bound.miss").Value() == 0 {
+		t.Error("the screen never used the bound tier")
+	}
+	// The live tracker followed the full-tier pipeline: survivors only.
+	evaluated, total := tr.Progress()
+	if evaluated != len(res.Candidates) || total != len(res.Candidates) {
+		t.Errorf("tracker progress %d/%d, want %d/%d", evaluated, total, len(res.Candidates), len(res.Candidates))
+	}
+	snap := tr.Snapshot()
+	if len(snap.Front3D) != len(res.Front3D) {
+		t.Errorf("live front %d members, batch %d", len(snap.Front3D), len(res.Front3D))
+	}
+}
+
+// TestSearchRejectsBadSpec: invalid search parameters are configuration
+// errors, reported before any evaluation runs.
+func TestSearchRejectsBadSpec(t *testing.T) {
+	for _, spec := range []SearchSpec{
+		{Population: -1},
+		{Generations: -2},
+		{Eta: -3},
+		{Eta: 1},
+	} {
+		cfg, err := DefaultConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := spec
+		cfg.Search = &s
+		if _, err := ExploreContext(context.Background(), cfg); err == nil {
+			t.Errorf("spec %+v: want configuration error", spec)
+		}
+	}
+}

@@ -55,6 +55,14 @@ func FromSpec(spec jobspec.Spec) (Config, SelectionSpec, error) {
 	cfg.Parallelism = spec.Parallelism
 	cfg.ATPGWorkers = spec.ATPGWorkers
 	cfg.VerifySelected = spec.VerifySelected
+	if spec.Search != nil {
+		cfg.Search = &SearchSpec{
+			Population:  spec.Search.Population,
+			Generations: spec.Search.Generations,
+			Eta:         spec.Search.Eta,
+			Seed:        spec.Search.Seed,
+		}
+	}
 
 	sel := SelectionSpec{
 		Norm: spec.Norm,

@@ -121,6 +121,23 @@ type Spec struct {
 	// VerifySelected re-derives and simulates the selected candidate's
 	// schedule after the exploration.
 	VerifySelected bool `json:"verify_selected,omitempty"`
+
+	// Search, when non-nil, switches the job from the exhaustive sweep to
+	// the guided GA + successive-halving exploration over the widened
+	// parameter space; Buses/ALUs/CMPs are then ignored. See
+	// dse.SearchSpec for the engine semantics.
+	Search *SearchSpec `json:"search,omitempty"`
+}
+
+// SearchSpec configures guided search (mirrors dse.SearchSpec field for
+// field; kept separate so the wire format has no dependency on engine
+// types). Zero fields take the engine defaults: population 64,
+// 8 generations, eta 4, seed = Spec.Seed.
+type SearchSpec struct {
+	Population  int   `json:"population,omitempty"`
+	Generations int   `json:"generations,omitempty"`
+	Eta         int   `json:"eta,omitempty"`
+	Seed        int64 `json:"seed,omitempty"`
 }
 
 // Validate reports whether the spec describes a runnable job. It checks
@@ -169,6 +186,18 @@ func (s *Spec) Validate() error {
 			if v < 1 {
 				return fmt.Errorf("jobspec: %s contains %d (want positive counts)", l.name, v)
 			}
+		}
+	}
+	if s.Search != nil {
+		if s.Search.Population < 0 || s.Search.Generations < 0 || s.Search.Eta < 0 {
+			return fmt.Errorf("jobspec: negative search parameter (population %d, generations %d, eta %d; use 0 for defaults)",
+				s.Search.Population, s.Search.Generations, s.Search.Eta)
+		}
+		if s.Search.Eta == 1 {
+			return fmt.Errorf("jobspec: search eta 1 promotes every genome and screens nothing (want >= 2, or 0 for the default)")
+		}
+		if s.Search.Seed < 0 {
+			return fmt.Errorf("jobspec: search seed %d is negative (use 0 to follow the job seed)", s.Search.Seed)
 		}
 	}
 	return nil

@@ -35,6 +35,11 @@ func TestValidateRejects(t *testing.T) {
 		{"buses", Spec{Buses: []int{1, 0}}, "buses"},
 		{"alus", Spec{ALUs: []int{-3}}, "alus"},
 		{"cmps", Spec{CMPs: []int{2, 0}}, "cmps"},
+		{"search-pop", Spec{Search: &SearchSpec{Population: -1}}, "search"},
+		{"search-gens", Spec{Search: &SearchSpec{Generations: -1}}, "search"},
+		{"search-eta-negative", Spec{Search: &SearchSpec{Eta: -1}}, "search"},
+		{"search-eta-one", Spec{Search: &SearchSpec{Eta: 1}}, "eta 1"},
+		{"search-seed", Spec{Search: &SearchSpec{Seed: -4}}, "search seed"},
 	}
 	for _, tc := range cases {
 		err := tc.s.Validate()
@@ -69,6 +74,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		Parallelism:     4,
 		ATPGWorkers:     2,
 		VerifySelected:  true,
+		Search:          &SearchSpec{Population: 128, Generations: 10, Eta: 4, Seed: 42},
 	}
 	data, err := json.Marshal(&in)
 	if err != nil {

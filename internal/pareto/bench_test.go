@@ -1,0 +1,67 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPoints builds a reproducible 3-D candidate stream with front
+// churn: coordinates drift downward over time, so later points keep
+// evicting earlier front members — the live-exploration access pattern.
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(11))
+	out := make([]Point, n)
+	for i := range out {
+		decay := float64(n-i) / float64(n)
+		out[i] = Point{ID: i, Coords: []float64{
+			decay*500 + float64(rng.Intn(200)),
+			decay*500 + float64(rng.Intn(200)),
+			decay*500 + float64(rng.Intn(200)),
+		}}
+	}
+	return out
+}
+
+// BenchmarkStreamingInsert measures absorbing one candidate stream into
+// the incremental archive — the daemon's per-completion cost.
+func BenchmarkStreamingInsert(b *testing.B) {
+	points := benchPoints(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewStreamingFront(3)
+		for _, p := range points {
+			f.Insert(p)
+		}
+	}
+}
+
+// BenchmarkBatchRescan measures the pre-StreamingFront /front cost
+// model: re-running the batch Front over every point seen so far on
+// each poll (here one poll per 100 completions — far fewer polls than a
+// live dashboard would issue, and it still loses by orders of
+// magnitude at depth).
+func BenchmarkBatchRescan(b *testing.B) {
+	points := benchPoints(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for seen := 100; seen <= len(points); seen += 100 {
+			Front(points[:seen])
+		}
+	}
+}
+
+// BenchmarkStreamingSnapshot measures answering one /front poll from
+// the archive: O(front), independent of the 10000 inserted points.
+func BenchmarkStreamingSnapshot(b *testing.B) {
+	f := NewStreamingFront(3)
+	for _, p := range benchPoints(10000) {
+		f.Insert(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Points()
+	}
+}

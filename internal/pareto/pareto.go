@@ -3,6 +3,14 @@
 // area / execution-time / test-cost space (the paper's section 4: "any of
 // the standard weighted norm techniques within the vector space R^3").
 // All objectives are minimized.
+//
+// Coordinate policy: NaN is not a legal objective value — NaN
+// comparisons are non-transitive, so a single NaN coordinate can make
+// dominance intransitive and silently corrupt a front. Callers feeding
+// externally produced values must reject NaN at the Point boundary with
+// ValidateCoords; StreamingFront enforces the policy itself. ±Inf is
+// legal (IEEE comparisons against infinities stay total and
+// transitive).
 package pareto
 
 import (

@@ -1,0 +1,214 @@
+// StreamingFront: an incremental dominance archive. Where Front answers
+// "which of these n points are non-dominated" in one batch pass,
+// StreamingFront absorbs points one at a time — the shape of a live
+// exploration, where candidates finish in arbitrary order across a
+// worker pool — and keeps exactly the non-dominated subset at every
+// moment. Membership queries and snapshots are O(front), independent of
+// how many points were ever inserted, which is what makes a live /front
+// endpoint viable during a million-candidate run.
+//
+// The archive is kept sorted lexicographically. Dominance in a
+// minimization space is order-compatible with that sort: a dominator of
+// p sorts strictly before p, and every point p dominates sorts strictly
+// after it. Each insert therefore scans the sorted prefix for a
+// dominator (early exit) and the suffix for evictions, so the cost is
+// O(front) comparisons with small constants, not O(all-inserted).
+//
+// Coordinate policy: NaN coordinates are rejected with an error at the
+// boundary (see ValidateCoords) — NaN comparisons are non-transitive
+// and would silently corrupt the archive's invariant. ±Inf is accepted;
+// IEEE comparisons against infinities are total and transitive, so an
+// infinite objective behaves like any other very bad (or very good)
+// value.
+package pareto
+
+import (
+	"sort"
+	"sync"
+)
+
+// StreamingFront is an incremental k-dimensional dominance archive over
+// minimized objectives. The zero value is NOT usable; construct with
+// NewStreamingFront. All methods are safe for concurrent use; concurrent
+// inserts serialize internally, and the final archive is independent of
+// insertion order (see the package property tests).
+type StreamingFront struct {
+	mu   sync.Mutex
+	dims int
+	// members is the current non-dominated set, sorted lexicographically
+	// by coordinates with ties broken by ascending ID — a deterministic
+	// total order, so two archives over the same point set are deeply
+	// equal regardless of arrival order.
+	members []Point
+
+	inserts   int64 // accepted insertions (archive grew)
+	rejects   int64 // dominated on arrival (archive unchanged)
+	evictions int64 // members removed by a later dominator
+}
+
+// NewStreamingFront returns an empty archive for dims-dimensional
+// points (dims >= 1).
+func NewStreamingFront(dims int) *StreamingFront {
+	if dims < 1 {
+		dims = 1
+	}
+	return &StreamingFront{dims: dims}
+}
+
+// Insert offers one point to the archive. It returns accepted=false when
+// an existing member dominates p (the archive is unchanged), and
+// otherwise accepted=true plus the IDs of any members p evicted.
+// Duplicate coordinate vectors never dominate each other, so duplicates
+// of a non-dominated vector are all kept — exactly Front's convention.
+// A NaN coordinate or a dimensionality mismatch is rejected with an
+// error and leaves the archive unchanged.
+func (f *StreamingFront) Insert(p Point) (accepted bool, evicted []int, err error) {
+	if err := ValidateCoords(p.Coords); err != nil {
+		return false, nil, err
+	}
+	if len(p.Coords) != f.dims {
+		return false, nil, &CoordError{Reason: "dimensionality", Dim: len(p.Coords)}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	// pos is where p would sit in the sorted archive.
+	pos := sort.Search(len(f.members), func(i int) bool {
+		return !memberLess(f.members[i], p)
+	})
+	// A dominator sorts strictly before p: scan the prefix.
+	for i := pos - 1; i >= 0; i-- {
+		if Dominates(f.members[i].Coords, p.Coords) {
+			f.rejects++
+			return false, nil, nil
+		}
+	}
+	// Everything p dominates sorts strictly after it: scan the suffix,
+	// compacting survivors in place.
+	keep := f.members[:pos]
+	for _, m := range f.members[pos:] {
+		if Dominates(p.Coords, m.Coords) {
+			evicted = append(evicted, m.ID)
+			continue
+		}
+		keep = append(keep, m)
+	}
+	f.members = keep
+	f.evictions += int64(len(evicted))
+
+	// Insert p at its sorted position (pos is still correct: no survivor
+	// before it moved, and suffix survivors only shifted left).
+	f.members = append(f.members, Point{})
+	copy(f.members[pos+1:], f.members[pos:])
+	c := make([]float64, f.dims)
+	copy(c, p.Coords)
+	f.members[pos] = Point{ID: p.ID, Coords: c}
+	f.inserts++
+	return true, evicted, nil
+}
+
+// memberLess is the archive's total order: lexicographic by coordinates,
+// then ascending ID.
+func memberLess(a, b Point) bool {
+	if lexLess(a.Coords, b.Coords) {
+		return true
+	}
+	if lexLess(b.Coords, a.Coords) {
+		return false
+	}
+	return a.ID < b.ID
+}
+
+// Size reports the current archive size (the live front's cardinality).
+func (f *StreamingFront) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Stats reports the lifetime counters: accepted insertions, arrivals
+// rejected as dominated, and members evicted by later dominators.
+func (f *StreamingFront) Stats() (inserts, rejects, evictions int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inserts, f.rejects, f.evictions
+}
+
+// IDs returns the archive members' IDs in ascending order — the stable
+// candidate-index ordering snapshots are keyed by.
+func (f *StreamingFront) IDs() []int {
+	f.mu.Lock()
+	out := make([]int, len(f.members))
+	for i, m := range f.members {
+		out[i] = m.ID
+	}
+	f.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// Points returns a copy of the archive in its internal (lexicographic)
+// order. The copy shares nothing with the archive.
+func (f *StreamingFront) Points() []Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Point, len(f.members))
+	for i, m := range f.members {
+		c := make([]float64, len(m.Coords))
+		copy(c, m.Coords)
+		out[i] = Point{ID: m.ID, Coords: c}
+	}
+	return out
+}
+
+// CoordError reports a coordinate vector rejected at the Point boundary:
+// a NaN coordinate, or (for StreamingFront) a dimensionality mismatch.
+type CoordError struct {
+	Reason string
+	Dim    int
+}
+
+func (e *CoordError) Error() string {
+	if e.Reason == "dimensionality" {
+		return "pareto: wrong coordinate dimensionality"
+	}
+	return "pareto: NaN coordinate in dimension " + itoa(e.Dim)
+}
+
+// itoa avoids pulling strconv in for one error path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// ValidateCoords enforces the package's coordinate policy at the Point
+// boundary: NaN is rejected (NaN comparisons are non-transitive, so one
+// NaN objective would silently poison any dominance computation); ±Inf
+// is accepted (IEEE comparisons against infinities are total and
+// transitive). Callers feeding external data into Front, Select or
+// StreamingFront should validate each vector once, here.
+func ValidateCoords(coords []float64) error {
+	for d, v := range coords {
+		if v != v { // NaN
+			return &CoordError{Reason: "nan", Dim: d}
+		}
+	}
+	return nil
+}

@@ -113,6 +113,87 @@ func TestDrainCheckpointsAndResumesByteIdentically(t *testing.T) {
 	}
 }
 
+// TestResumeThenPollProgressAccounting is the accounting regression
+// test: a resumed job re-announces its checkpoint prefix as "restored"
+// events before evaluating the rest live. The status endpoint must count
+// every candidate index exactly once — at every poll during the resumed
+// run evaluated <= total, and at completion evaluated == total.
+// (Previously the job counted raw candidate+restored event deliveries,
+// so any index announced more than once pushed evaluated past total.)
+func TestResumeThenPollProgressAccounting(t *testing.T) {
+	dir := t.TempDir()
+	spec := jobspec.Spec{Buses: []int{1, 2}, ALUs: []int{1}, CMPs: []int{1}, Parallelism: 1}
+	const space = 24 // 2 buses x 6 RF sets x 2 assignment strategies
+
+	// Daemon #1: slow evaluations, drained mid-run to seed the checkpoint.
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.DSEEval, faultinject.Plan{Mode: faultinject.ModeSleep, Delay: 40 * time.Millisecond})
+	srv1 := NewServer(Options{CheckpointDir: dir, Inject: inj})
+	job, err := srv1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for job.Status().Evaluated < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress: %+v", job.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status().Evaluated >= space {
+		t.Skipf("job finished before the drain landed; nothing to resume")
+	}
+
+	// Daemon #2: resume, and poll the status continuously while the
+	// restored prefix and the live remainder stream in.
+	inj2 := faultinject.New(1)
+	inj2.Arm(faultinject.DSEEval, faultinject.Plan{Mode: faultinject.ModeSleep, Delay: 10 * time.Millisecond})
+	srv2 := NewServer(Options{CheckpointDir: dir, Inject: inj2})
+	resumed, err := srv2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polls := 0
+	for done := false; !done; {
+		select {
+		case <-resumed.Done():
+			done = true
+		case <-time.After(2 * time.Millisecond):
+		}
+		st := resumed.Status()
+		polls++
+		if st.Total != 0 && st.Total != space {
+			t.Fatalf("poll %d: total %d, want %d", polls, st.Total, space)
+		}
+		if st.Total != 0 && st.Evaluated > st.Total {
+			t.Fatalf("poll %d: evaluated %d > total %d", polls, st.Evaluated, st.Total)
+		}
+	}
+	if st := resumed.State(); st != StateDone {
+		t.Fatalf("resumed job ended %s", st)
+	}
+	final := resumed.Status()
+	if final.Evaluated != space || final.Total != space {
+		t.Fatalf("final progress %d/%d, want %d/%d", final.Evaluated, final.Total, space, space)
+	}
+	// The run really was a resume: restored events are in the history.
+	replay, _, _ := resumed.hub.subscribe()
+	restored := 0
+	for _, ev := range replay {
+		if ev.Kind == dse.EventRestored {
+			restored++
+		}
+	}
+	if restored == 0 {
+		t.Fatal("resumed job restored nothing; the poll loop exercised a cold run")
+	}
+}
+
 // TestJobTimeoutFails pins the per-job deadline path: a spec whose
 // Timeout cannot cover the space ends "failed" with a partial report.
 func TestJobTimeoutFails(t *testing.T) {

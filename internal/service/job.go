@@ -45,24 +45,23 @@ type Job struct {
 	reg      *obs.Registry
 	done     chan struct{}
 
-	mu        sync.Mutex
-	state     State
-	errMsg    string
-	report    []byte
-	evaluated int
-	total     int
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	report []byte
 }
 
 func newJob(id string, spec jobspec.Spec) *Job {
 	ctx, cancel := context.WithCancelCause(context.Background())
+	reg := obs.NewRegistry()
 	return &Job{
 		ID:       id,
 		Spec:     spec,
 		ctx:      ctx,
 		cancelFn: cancel,
 		hub:      newHub(),
-		tracker:  dse.NewFrontTracker(),
-		reg:      obs.NewRegistry(),
+		tracker:  dse.NewFrontTrackerObs(reg),
+		reg:      reg,
 		done:     make(chan struct{}),
 		state:    StateQueued,
 	}
@@ -106,35 +105,30 @@ type JobStatus struct {
 	Spec      jobspec.Spec `json:"spec"`
 }
 
-// Status snapshots the job for listings and polls.
+// Status snapshots the job for listings and polls. Progress comes from
+// the front tracker, which deduplicates by candidate index — a restored
+// evaluation that is re-announced around a resume counts once, so
+// Evaluated can never exceed Total.
 func (j *Job) Status() JobStatus {
+	evaluated, total := j.tracker.Progress()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
 		ID:        j.ID,
 		State:     j.state,
 		Error:     j.errMsg,
-		Evaluated: j.evaluated,
-		Total:     j.total,
+		Evaluated: evaluated,
+		Total:     total,
 		Events:    j.hub.len(),
 		Spec:      j.Spec,
 	}
 }
 
 // sink is the job's dse.Config.EventSink: it feeds the event hub (live
-// streams + history replay), the front tracker and the progress
-// counters. Called concurrently by the exploration's workers.
+// streams + history replay) and the front tracker, which also owns the
+// progress accounting. Called concurrently by the exploration's workers.
 func (j *Job) sink(ev dse.Event) {
 	j.tracker.Observe(ev)
-	switch ev.Kind {
-	case dse.EventCandidate, dse.EventRestored:
-		j.mu.Lock()
-		j.evaluated++
-		if ev.Total > j.total {
-			j.total = ev.Total
-		}
-		j.mu.Unlock()
-	}
 	j.hub.publish(ev)
 }
 

@@ -210,6 +210,38 @@ func TestEventStreamSSE(t *testing.T) {
 // one process-wide annotator, and the second wave is served entirely
 // from the first wave's annotations (hit counters rise, miss counter
 // stays put). Run under -race this also proves the sharing is sound.
+// TestSearchJobThroughDaemon: a guided-search spec submitted to the
+// daemon runs the GA screen, evaluates only the survivors, and serves
+// consistent progress and front snapshots for them.
+func TestSearchJobThroughDaemon(t *testing.T) {
+	srv := NewServer(Options{})
+	spec := jobspec.Spec{
+		Parallelism: 2,
+		Search:      &jobspec.SearchSpec{Population: 8, Generations: 2, Eta: 4, Seed: 5},
+	}
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, job); st != StateDone {
+		t.Fatalf("search job ended %s: %s", st, job.Status().Error)
+	}
+	st := job.Status()
+	if st.Total == 0 || st.Total > 8*2 {
+		t.Fatalf("total %d, want survivors in (0, %d]", st.Total, 8*2)
+	}
+	if st.Evaluated != st.Total {
+		t.Fatalf("evaluated %d != total %d on a done job", st.Evaluated, st.Total)
+	}
+	snap := job.Front()
+	if snap.Evaluated != st.Evaluated || len(snap.Front3D) == 0 {
+		t.Fatalf("front snapshot %d evaluated / %d members", snap.Evaluated, len(snap.Front3D))
+	}
+	if job.Report() == nil {
+		t.Fatal("search job produced no report")
+	}
+}
+
 func TestConcurrentJobsShareWarmAnnotations(t *testing.T) {
 	reg := obs.NewRegistry()
 	srv := NewServer(Options{MaxConcurrent: 2, Obs: reg})

@@ -1,0 +1,152 @@
+package testcost
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tta"
+)
+
+func boundTestArch() *tta.Architecture {
+	a := tta.Figure9().Clone()
+	tta.AssignPorts(a, tta.SpreadFirst)
+	return a
+}
+
+// TestBoundTierPessimisticAndDeterministic: the cheap tier never
+// flatters — its total is >= the converged total — and repeated
+// evaluations are identical.
+func TestBoundTierPessimisticAndDeterministic(t *testing.T) {
+	ann := NewAnnotator(16, 7)
+	arch := boundTestArch()
+	b1, err := ann.EvaluateBoundContext(context.Background(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1.Degraded {
+		t.Error("fresh bound-tier evaluation must be marked Degraded")
+	}
+	b2, err := ann.EvaluateBoundContext(context.Background(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Total != b2.Total || b1.FullScanTotal != b2.FullScanTotal {
+		t.Fatalf("bound tier not deterministic: %d/%d then %d/%d",
+			b1.Total, b1.FullScanTotal, b2.Total, b2.FullScanTotal)
+	}
+	exact, err := ann.EvaluateContext(context.Background(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Degraded {
+		t.Fatal("unbudgeted exact evaluation must not degrade")
+	}
+	if b1.Total < exact.Total {
+		t.Errorf("bound total %d below exact total %d: the screen flattered a candidate", b1.Total, exact.Total)
+	}
+	// Per-component: bound n_p >= measured n_p for cost-bearing FUs (RFs
+	// use march counts in both tiers, so they agree exactly).
+	for i, bc := range b1.Components {
+		ec := exact.Components[i]
+		if bc.Name != ec.Name {
+			t.Fatalf("component order differs between tiers: %s vs %s", bc.Name, ec.Name)
+		}
+		if bc.Kind == tta.RF && bc.NP != ec.NP {
+			t.Errorf("%s: march count differs between tiers: %d vs %d", bc.Name, bc.NP, ec.NP)
+		}
+		if bc.NP < ec.NP {
+			t.Errorf("%s: bound np %d below measured %d", bc.Name, bc.NP, ec.NP)
+		}
+	}
+}
+
+// TestBoundTierIndependentOfExactCache: the cheap tier is a pure
+// function of the architecture — a warm exact cache must not change its
+// answer, or the guided search's trajectory would depend on annotator
+// warmth (daemon pools, warm-start files, checkpoint resumes).
+func TestBoundTierIndependentOfExactCache(t *testing.T) {
+	cold := NewAnnotator(16, 7)
+	arch := boundTestArch()
+	ref, err := cold.EvaluateBoundContext(context.Background(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewAnnotator(16, 7)
+	reg := obs.NewRegistry()
+	warm.Obs = reg
+	if _, err := warm.EvaluateContext(context.Background(), arch); err != nil {
+		t.Fatal(err)
+	}
+	b, err := warm.EvaluateBoundContext(context.Background(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Degraded {
+		t.Error("bound tier must stay degraded even with a warm exact cache")
+	}
+	if b.Total != ref.Total || b.FullScanTotal != ref.FullScanTotal {
+		t.Errorf("warm-cache bound totals %d/%d != cold %d/%d",
+			b.Total, b.FullScanTotal, ref.Total, ref.FullScanTotal)
+	}
+	// Second evaluation serves the bound memo.
+	if _, err := warm.EvaluateBoundContext(context.Background(), arch); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("testcost.bound.hit").Value() == 0 {
+		t.Error("bound.hit counter never incremented")
+	}
+	if reg.Counter("testcost.bound.miss").Value() == 0 {
+		t.Error("bound.miss counter never incremented")
+	}
+}
+
+// TestBoundTierAreaDelayExact: area/critical-path come from the netlist
+// in both tiers and must agree.
+func TestBoundTierAreaDelayExact(t *testing.T) {
+	cheap := NewAnnotator(16, 7)
+	full := NewAnnotator(16, 7)
+	arch := boundTestArch()
+	for ci := range arch.Components {
+		c := &arch.Components[ci]
+		ba, bd, err := cheap.AreaDelayBoundContext(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, ed, err := full.AreaDelayContext(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ba != ea || bd != ed {
+			t.Errorf("%s: bound tier area/delay %v/%v != exact %v/%v", c.Name, ba, bd, ea, ed)
+		}
+	}
+}
+
+// TestBoundTierConcurrent: concurrent cheap-tier evaluations against one
+// annotator race only on the memo map; results must agree.
+func TestBoundTierConcurrent(t *testing.T) {
+	ann := NewAnnotator(16, 7)
+	arch := boundTestArch()
+	ref, err := ann.EvaluateBoundContext(context.Background(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := ann.EvaluateBoundContext(context.Background(), boundTestArch())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.Total != ref.Total {
+				t.Errorf("concurrent bound total %d != %d", got.Total, ref.Total)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -143,6 +143,7 @@ type Annotator struct {
 
 	mu       sync.Mutex
 	cache    map[string]annotation
+	bounds   map[string]annotation // cheap-tier analytical bounds, keyed like cache
 	inflight map[string]*inflightRun
 
 	sockIn   annotation
@@ -170,6 +171,7 @@ func NewAnnotator(width int, seed int64) *Annotator {
 		Seed:     seed,
 		March:    march.MarchCMinus,
 		cache:    make(map[string]annotation),
+		bounds:   make(map[string]annotation),
 		inflight: make(map[string]*inflightRun),
 	}
 }
@@ -347,45 +349,64 @@ func ceilDiv(x, y int) int {
 	return (x + y - 1) / y
 }
 
+// componentKeyGen maps an architecture component to its library cache
+// key and netlist generator — the single source of truth shared by the
+// exact annotation path and the bound tier, so both tiers always agree
+// on which library element a component resolves to.
+func (a *Annotator) componentKeyGen(c *tta.Component) (string, func() (*gatelib.Component, error), error) {
+	switch c.Kind {
+	case tta.ALU:
+		return fmt.Sprintf("alu/%d/%s", a.Width, c.Adder), func() (*gatelib.Component, error) {
+			return a.Lib.ALU(gatelib.ALUConfig{Width: a.Width, Adder: c.Adder})
+		}, nil
+	case tta.CMP:
+		return fmt.Sprintf("cmp/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.CMP(a.Width)
+		}, nil
+	case tta.RF:
+		cfg := gatelib.RFConfig{Width: a.Width, NumRegs: c.NumRegs, NumIn: c.NumIn, NumOut: c.NumOut}
+		return "rf/" + cfg.String(), func() (*gatelib.Component, error) {
+			return a.Lib.RF(cfg)
+		}, nil
+	case tta.LDST:
+		return fmt.Sprintf("ldst/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.LDST(a.Width)
+		}, nil
+	case tta.PC:
+		return fmt.Sprintf("pc/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.PC(a.Width)
+		}, nil
+	case tta.IMM:
+		return fmt.Sprintf("imm/%d", a.Width), func() (*gatelib.Component, error) {
+			return a.Lib.IMM(a.Width)
+		}, nil
+	default:
+		return "", nil, fmt.Errorf("testcost: unknown component kind %v", c.Kind)
+	}
+}
+
+// marchOverride applies the register-file pattern-count convention: the
+// functional RF test uses march patterns, not the scan-view ATPG set
+// (which only feeds the full-scan baseline).
+func (a *Annotator) marchOverride(c *tta.Component, an annotation) annotation {
+	if c.Kind == tta.RF {
+		an.np = march.MultiPortPatternCount(a.March, c.NumRegs, c.NumIn, c.NumOut)
+	}
+	return an
+}
+
 // componentAnnotation fetches the library annotation for an architecture
 // component.
 func (a *Annotator) componentAnnotation(ctx context.Context, c *tta.Component) (annotation, error) {
-	switch c.Kind {
-	case tta.ALU:
-		return a.annotate(ctx, fmt.Sprintf("alu/%d/%s", a.Width, c.Adder), func() (*gatelib.Component, error) {
-			return a.Lib.ALU(gatelib.ALUConfig{Width: a.Width, Adder: c.Adder})
-		})
-	case tta.CMP:
-		return a.annotate(ctx, fmt.Sprintf("cmp/%d", a.Width), func() (*gatelib.Component, error) {
-			return a.Lib.CMP(a.Width)
-		})
-	case tta.RF:
-		cfg := gatelib.RFConfig{Width: a.Width, NumRegs: c.NumRegs, NumIn: c.NumIn, NumOut: c.NumOut}
-		an, err := a.annotate(ctx, "rf/"+cfg.String(), func() (*gatelib.Component, error) {
-			return a.Lib.RF(cfg)
-		})
-		if err != nil {
-			return annotation{}, err
-		}
-		// Functional register-file test uses march patterns, not the
-		// scan-view ATPG set (which only feeds the full-scan baseline).
-		an.np = march.MultiPortPatternCount(a.March, c.NumRegs, c.NumIn, c.NumOut)
-		return an, nil
-	case tta.LDST:
-		return a.annotate(ctx, fmt.Sprintf("ldst/%d", a.Width), func() (*gatelib.Component, error) {
-			return a.Lib.LDST(a.Width)
-		})
-	case tta.PC:
-		return a.annotate(ctx, fmt.Sprintf("pc/%d", a.Width), func() (*gatelib.Component, error) {
-			return a.Lib.PC(a.Width)
-		})
-	case tta.IMM:
-		return a.annotate(ctx, fmt.Sprintf("imm/%d", a.Width), func() (*gatelib.Component, error) {
-			return a.Lib.IMM(a.Width)
-		})
-	default:
-		return annotation{}, fmt.Errorf("testcost: unknown component kind %v", c.Kind)
+	key, gen, err := a.componentKeyGen(c)
+	if err != nil {
+		return annotation{}, err
 	}
+	an, err := a.annotate(ctx, key, gen)
+	if err != nil {
+		return annotation{}, err
+	}
+	return a.marchOverride(c, an), nil
 }
 
 // Evaluate computes the full Table-1-style cost breakdown and the eq. (14)
@@ -401,6 +422,12 @@ func (a *Annotator) Evaluate(arch *tta.Architecture) (*ArchCost, error) {
 // EvaluateContext is Evaluate with cancellation: the gate-level ATPG runs
 // behind annotation-cache misses poll ctx and abort when it is done.
 func (a *Annotator) EvaluateContext(ctx context.Context, arch *tta.Architecture) (*ArchCost, error) {
+	return a.evaluateWith(ctx, arch, a.componentAnnotation)
+}
+
+// evaluateWith runs the eq. (14) cost assembly over an architecture with
+// a pluggable per-component annotation source (exact or bound tier).
+func (a *Annotator) evaluateWith(ctx context.Context, arch *tta.Architecture, fetch func(context.Context, *tta.Component) (annotation, error)) (*ArchCost, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
@@ -413,7 +440,7 @@ func (a *Annotator) EvaluateContext(ctx context.Context, arch *tta.Architecture)
 	out := &ArchCost{Arch: arch}
 	for ci := range arch.Components {
 		c := &arch.Components[ci]
-		an, err := a.componentAnnotation(ctx, c)
+		an, err := fetch(ctx, c)
 		if err != nil {
 			return nil, err
 		}
