@@ -3,9 +3,11 @@ package atpg
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -35,6 +37,15 @@ type Config struct {
 	// SCOAPGuidance steers PODEM's input choices by controllability cost
 	// (the testability-measure ablation of DESIGN.md).
 	SCOAPGuidance bool
+	// LaneWidth selects the pattern-block width of the fault simulator:
+	// 64, 256 or 512 parallel pattern lanes per block ([1], [4] or
+	// [8]uint64 per net). 0 picks automatically by netlist size. The
+	// detected-fault sets, patterns and every report field are
+	// byte-identical at every width — wider lanes only amortize the
+	// per-call and per-gate fixed costs of fault simulation over more
+	// patterns (see DESIGN.md); only throughput and the block-granular
+	// atpg.faultsim.{blocks,lanes} tallies change.
+	LaneWidth int
 	// Workers bounds the parallelism of every phase: fault simulation in
 	// the random and compaction phases, and speculative PODEM generation
 	// in the deterministic phase (0 = GOMAXPROCS, 1 = serial). Results
@@ -143,8 +154,9 @@ func (r *Result) String() string {
 // lookup per call). All fields are bumped from the phase-driver goroutine
 // only and flushed to the registry once per run.
 type runMetrics struct {
-	blocks int64 // 64-lane fault-simulation blocks evaluated
-	lanes  int64 // lanes across those blocks that carried real patterns
+	laneWidth int64 // active lane width (64/256/512)
+	blocks    int64 // fault-simulation blocks evaluated (laneWidth lanes each)
+	lanes     int64 // lanes across those blocks that carried real patterns
 
 	shards    int64 // PODEM shard workers launched
 	merged    int64 // PODEM candidates consumed by the merge pass
@@ -154,8 +166,9 @@ type runMetrics struct {
 	backtracks int64 // PODEM backtracks across all engines
 }
 
-// flush publishes the tallies. Lane utilization is lanes/(64*blocks): 1.0
-// means every simulated block was fully saturated.
+// flush publishes the tallies. Lane utilization is lanes divided by the
+// block capacity laneWidth*blocks: 1.0 means every simulated block was
+// fully saturated at the active lane width.
 func (m *runMetrics) flush(r *obs.Registry, res *Result) {
 	if r == nil {
 		return
@@ -178,8 +191,11 @@ func (m *runMetrics) flush(r *obs.Registry, res *Result) {
 	if res.DeadlineExceeded {
 		r.Counter("atpg.deadline.exceeded").Inc()
 	}
+	if m.laneWidth > 0 {
+		r.Gauge("atpg.faultsim.lane_width").Set(float64(m.laneWidth))
+	}
 	if m.blocks > 0 {
-		r.Gauge("atpg.faultsim.lane_util").Set(float64(m.lanes) / float64(64*m.blocks))
+		r.Gauge("atpg.faultsim.lane_util").SetRatio(m.lanes, m.laneWidth*m.blocks)
 	}
 }
 
@@ -217,11 +233,16 @@ func (b budget) expired() bool { return !b.at.IsZero() && time.Now().After(b.at)
 // Config.Deadline.
 func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	lanes, err := resolveLaneWidth(cfg.LaneWidth, n)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	u := NewUniverse(n)
-	sim := NewSimulator(n)
+	topo := newSimTopo(n)
+	ws := newFaultSimFromTopo(topo, lanes)
 	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
-	m := &runMetrics{}
+	m := &runMetrics{laneWidth: int64(lanes)}
 	defer m.flush(cfg.Obs, res)
 	bud := newBudget(cfg.Deadline)
 
@@ -229,7 +250,8 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 	var patterns []Pattern
 
 	if cfg.MaxRandomPatterns > 0 {
-		patterns = randomPhase(ctx, sim, u, cfg, rng, detected, res, m, bud)
+		pool := newSimPool(topo, lanes, cfg.Workers)
+		patterns = randomPhase(ctx, pool, u, cfg, detected, res, m, bud)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -237,7 +259,7 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 
 	if !cfg.SkipPODEM && !bud.expired() {
 		var err error
-		patterns, err = podemTopUp(ctx, sim, u, cfg, rng, detected, res, patterns, m, bud)
+		patterns, err = podemTopUp(ctx, ws, u, cfg, rng, detected, res, patterns, m, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -252,8 +274,31 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 		res.Patterns = patterns
 		return res, nil
 	}
-	res.Patterns = compactReverse(sim, u, patterns, detected, cfg.Workers, m)
+	res.Patterns = compactReverse(newSimPool(topo, lanes, cfg.Workers), u, patterns, detected, m)
 	return res, nil
+}
+
+// resolveLaneWidth validates Config.LaneWidth and resolves the automatic
+// default: wider blocks for bigger netlists, where the fixed per-Detects
+// and per-gate costs dominate and amortizing them over more lanes pays;
+// small circuits rarely fill wide blocks, so they stay at 64. Every width
+// produces identical output, so the heuristic only steers throughput.
+func resolveLaneWidth(w int, n *netlist.Netlist) (int, error) {
+	switch w {
+	case 64, 256, 512:
+		return w, nil
+	case 0:
+		switch {
+		case len(n.Gates) >= 2048:
+			return 512, nil
+		case len(n.Gates) >= 512:
+			return 256, nil
+		default:
+			return 64, nil
+		}
+	default:
+		return 0, fmt.Errorf("atpg: invalid LaneWidth %d (want 0, 64, 256 or 512)", w)
+	}
 }
 
 // markRemainingAborted counts every still-undetected fault as aborted —
@@ -295,9 +340,9 @@ type podemCandidate struct {
 // the don't-care fill consumes the rng only at accept time, in fault
 // order).
 //
-// Accepted patterns are fault-dropped in 64-lane batches by a
+// Accepted patterns are fault-dropped in lane-width batches by a
 // batchDropper instead of one LoadBlock per pattern.
-func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, patterns []Pattern, m *runMetrics, bud budget) ([]Pattern, error) {
+func podemTopUp(ctx context.Context, ws faultSim, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, patterns []Pattern, m *runMetrics, bud budget) ([]Pattern, error) {
 	workers := cfg.workerCount()
 	m.shards += int64(workers)
 
@@ -307,13 +352,14 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 	}
 
 	// Candidate source: speculative shards when parallel, on-demand
-	// generation (the serial algorithm, verbatim) otherwise.
+	// generation (the serial algorithm, verbatim) otherwise. Every engine
+	// binds the same read-only structural view.
 	var cands []podemCandidate
 	var engines []*podem
 	if workers > 1 {
-		cands, engines = shardedCandidates(ctx, u, cfg, detected, workers, scoap, bud)
+		cands, engines = shardedCandidates(ctx, u, cfg, detected, workers, scoap, bud, ws.topo())
 	} else {
-		eng := newPodem(sim, cfg.BacktrackLimit)
+		eng := newPodem(ws.topo(), cfg.BacktrackLimit)
 		eng.scoap = scoap
 		engines = []*podem{eng}
 	}
@@ -324,7 +370,7 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 		}
 	}()
 
-	drop := newBatchDropper(sim, u, detected, res, m)
+	drop := newBatchDropper(ws, u, detected, res, m)
 	for fi := range u.Faults {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -397,11 +443,11 @@ func podemTopUp(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rn
 }
 
 // shardedCandidates launches the speculative generation workers and waits
-// for them. Each worker owns a private Simulator and podem engine; the
-// SCOAP table is shared (read-only during generation). Faults are dealt
-// round-robin for load balance; the partition does not affect the output
-// because the merge pass re-serializes in fault order.
-func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []bool, workers int, scoap *Scoap, bud budget) ([]podemCandidate, []*podem) {
+// for them. Each worker owns a private podem engine over the shared
+// read-only structural view; the SCOAP table is shared too. Faults are
+// dealt round-robin for load balance; the partition does not affect the
+// output because the merge pass re-serializes in fault order.
+func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []bool, workers int, scoap *Scoap, bud budget, topo *simTopo) ([]podemCandidate, []*podem) {
 	var work []int32
 	for fi := range u.Faults {
 		if !detected[fi] {
@@ -412,7 +458,7 @@ func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []
 	engines := make([]*podem, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		eng := newPodem(NewSimulator(u.N), cfg.BacktrackLimit)
+		eng := newPodem(topo, cfg.BacktrackLimit)
 		eng.scoap = scoap
 		engines[w] = eng
 		wg.Add(1)
@@ -432,13 +478,13 @@ func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []
 	return cands, engines
 }
 
-// batchDropper accumulates accepted PODEM patterns into up-to-64-lane
+// batchDropper accumulates accepted PODEM patterns into up-to-lane-width
 // blocks and fault-drops whole blocks at once, replacing the serial
 // algorithm's one-pattern LoadBlock per accepted pattern.
 //
 // The serial algorithm drops each new pattern against every fault at or
 // beyond its target, immediately. The batched replay preserves those
-// decisions exactly:
+// decisions exactly, at any batch width:
 //
 //   - a fault reaching its merge slot is checked against all pending
 //     lanes (covers) — the same "was it dropped by an earlier pattern"
@@ -450,8 +496,12 @@ func shardedCandidates(ctx context.Context, u *Universe, cfg Config, detected []
 //   - the flush tail then drops every fault beyond the merge position
 //     against all lanes — faults between a lane's target and the merge
 //     position were already screened by covers at their own slots.
+//
+// Detection outcomes, counters and patterns are therefore independent of
+// where the flush boundaries fall — which is exactly why widening the
+// batch from 64 to 256/512 lanes cannot move a single output byte.
 type batchDropper struct {
-	sim      *Simulator
+	sim      faultSim
 	u        *Universe
 	detected []bool
 	res      *Result
@@ -462,19 +512,19 @@ type batchDropper struct {
 	loaded  bool    // sim currently holds the pending block
 }
 
-func newBatchDropper(sim *Simulator, u *Universe, detected []bool, res *Result, m *runMetrics) *batchDropper {
+func newBatchDropper(sim faultSim, u *Universe, detected []bool, res *Result, m *runMetrics) *batchDropper {
 	return &batchDropper{
 		sim:      sim,
 		u:        u,
 		detected: detected,
 		res:      res,
 		m:        m,
-		pending:  make([]Pattern, 0, 64),
-		targets:  make([]int32, 0, 64),
+		pending:  make([]Pattern, 0, sim.lanes()),
+		targets:  make([]int32, 0, sim.lanes()),
 	}
 }
 
-func (d *batchDropper) full() bool { return len(d.pending) == 64 }
+func (d *batchDropper) full() bool { return len(d.pending) == d.sim.lanes() }
 
 // add accepts a pattern generated for fault fi into the next free lane.
 func (d *batchDropper) add(pat Pattern, fi int) {
@@ -489,14 +539,15 @@ func (d *batchDropper) covers(fi int) bool {
 		return false
 	}
 	d.load()
-	return d.sim.Detects(d.u.Faults[fi]) != 0
+	m := d.sim.detectsMask(d.u.Faults[fi])
+	return m.any()
 }
 
 func (d *batchDropper) load() {
 	if d.loaded {
 		return
 	}
-	d.sim.LoadBlock(d.pending)
+	d.sim.loadBlock(d.pending)
 	d.loaded = true
 }
 
@@ -512,7 +563,8 @@ func (d *batchDropper) flush(pos int) {
 	d.m.blocks++
 	d.m.lanes += int64(len(d.pending))
 	for k, t := range d.targets {
-		if d.sim.Detects(d.u.Faults[t])&(1<<uint(k)) != 0 {
+		m := d.sim.detectsMask(d.u.Faults[t])
+		if m.bit(k) {
 			d.detected[t] = true
 			d.res.Detected++
 		} else {
@@ -523,7 +575,11 @@ func (d *batchDropper) flush(pos int) {
 		}
 	}
 	for fj := pos; fj < len(d.u.Faults); fj++ {
-		if !d.detected[fj] && d.sim.Detects(d.u.Faults[fj]) != 0 {
+		if d.detected[fj] {
+			continue
+		}
+		m := d.sim.detectsMask(d.u.Faults[fj])
+		if m.any() {
 			d.detected[fj] = true
 			d.res.Detected++
 		}
@@ -533,32 +589,52 @@ func (d *batchDropper) flush(pos int) {
 	d.loaded = false
 }
 
-// simPool owns one Simulator per worker for parallel serial-fault
-// simulation over disjoint fault ranges.
+// simPool owns one fault-simulation engine per worker for parallel
+// serial-fault simulation over disjoint fault ranges. All engines share
+// one read-only simTopo, so a pool costs per-worker value arrays only.
 type simPool struct {
-	sims []*Simulator
+	sims []faultSim
+	// narrow is a 64-lane tier used by firstLanes to screen each block's
+	// first sub-block cheaply before paying full width; nil at width 64.
+	narrow *simPool
 }
 
-func newSimPool(n *netlist.Netlist, workers int) *simPool {
+func newSimPool(t *simTopo, lanes, workers int) *simPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	p := &simPool{sims: make([]*Simulator, workers)}
+	p := &simPool{sims: make([]faultSim, workers)}
 	for i := range p.sims {
-		p.sims[i] = NewSimulator(n)
+		p.sims[i] = newFaultSimFromTopo(t, lanes)
+	}
+	if lanes > 64 {
+		p.narrow = newSimPool(t, 64, workers)
 	}
 	return p
 }
 
-// forBlock loads the pattern block into every worker's simulator and calls
+// lanes returns the pattern-block width of the pool's engines.
+func (p *simPool) lanes() int { return p.sims[0].lanes() }
+
+// forBlock loads the pattern block into every worker's engine and calls
 // fn(workerSim, faultIndex) for each fault index in [0, nFaults) from
 // exactly one worker. fn must only touch per-fault state.
-func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(sim *Simulator, fi int)) {
+func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(ws faultSim, fi int)) {
+	p.forLoaded(func(ws faultSim) { ws.loadBlock(block) }, nFaults, fn)
+}
+
+// forBlockWords is forBlock for a block already in transposed word form
+// (see wideSim.loadWords).
+func (p *simPool) forBlockWords(words [][]uint64, nFaults int, fn func(ws faultSim, fi int)) {
+	p.forLoaded(func(ws faultSim) { ws.loadWords(words) }, nFaults, fn)
+}
+
+func (p *simPool) forLoaded(load func(ws faultSim), nFaults int, fn func(ws faultSim, fi int)) {
 	if len(p.sims) == 1 {
-		p.sims[0].LoadBlock(block)
+		load(p.sims[0])
 		for fi := 0; fi < nFaults; fi++ {
 			fn(p.sims[0], fi)
 		}
@@ -576,82 +652,269 @@ func (p *simPool) forBlock(block []Pattern, nFaults int, fn func(sim *Simulator,
 			break
 		}
 		wg.Add(1)
-		go func(sim *Simulator, lo, hi int) {
+		go func(ws faultSim, lo, hi int) {
 			defer wg.Done()
-			sim.LoadBlock(block)
+			load(ws)
 			for fi := lo; fi < hi; fi++ {
-				fn(sim, fi)
+				fn(ws, fi)
 			}
 		}(p.sims[w], lo, hi)
 	}
 	wg.Wait()
 }
 
+// firstLanes fills laneOf[fi] with the first block lane detecting fault fi
+// (-1 if none), considering only faults with skip(fi) == false. With screen
+// set, blocks wider than 64 lanes run sub-block by sub-block on the 64-lane
+// tier, dropping each fault at its first detecting sub-block — in a
+// detection-dense block that retires most faults at a fraction of the word
+// cost. With screen clear, the full-width engine simulates every live fault
+// in one pass, amortizing per-call and scheduling overhead across the whole
+// block — the cheaper plan when most faults stay alive to the end anyway.
+// The wide mask's sub-block words are identical to the narrow masks (the
+// width-invariance property), so both tiers report the same first lane.
+// Screening is purely an execution strategy: laneOf is identical either
+// way, so callers may toggle it by any heuristic without affecting results.
+func (p *simPool) firstLanes(faults []Fault, block []Pattern, screen bool, skip func(int) bool, laneOf []int16) {
+	nSub := (len(block) + 63) / 64
+	p.firstLanesBy(faults, nSub, screen, skip, laneOf,
+		func(ws faultSim, s int) {
+			sub := block[s*64:]
+			if len(sub) > 64 {
+				sub = sub[:64]
+			}
+			ws.loadBlock(sub)
+		},
+		func(n int, fn func(ws faultSim, fi int)) { p.forBlock(block, n, fn) })
+}
+
+// firstLanesWords is firstLanes for a block already in transposed word form:
+// words[s] holds sub-block s's per-controllable lane words.
+func (p *simPool) firstLanesWords(faults []Fault, words [][]uint64, screen bool, skip func(int) bool, laneOf []int16) {
+	p.firstLanesBy(faults, len(words), screen, skip, laneOf,
+		func(ws faultSim, s int) { ws.loadWords(words[s : s+1]) },
+		func(n int, fn func(ws faultSim, fi int)) { p.forBlockWords(words, n, fn) })
+}
+
+func (p *simPool) firstLanesBy(faults []Fault, nSub int, screen bool, skip func(int) bool, laneOf []int16,
+	loadSub func(ws faultSim, s int),
+	runFull func(n int, fn func(ws faultSim, fi int))) {
+	for i := range laneOf {
+		laneOf[i] = -1
+	}
+	if screen && p.narrow != nil && nSub > 1 {
+		p.narrow.screenSubs(faults, nSub, skip, laneOf, loadSub)
+		return
+	}
+	runFull(len(faults), func(ws faultSim, fi int) {
+		if skip(fi) {
+			return
+		}
+		mk := ws.detectsMask(faults[fi])
+		if first := mk.first(); first >= 0 {
+			laneOf[fi] = int16(first)
+		}
+	})
+}
+
+// screenSubs runs the 64-lane pool over each sub-block in serial order,
+// dropping every fault at its first detecting sub-block. The single-worker
+// path devirtualizes the engine to the concrete 64-lane instantiation so
+// the per-fault inner loop pays no interface dispatch, closure call or
+// laneMask widening — at tens of thousands of detects calls per run those
+// fixed costs rival the simulation work itself.
+func (p *simPool) screenSubs(faults []Fault, nSub int, skip func(int) bool, laneOf []int16, loadSub func(ws faultSim, s int)) {
+	live := 0
+	for fi := range faults {
+		if !skip(fi) {
+			live++
+		}
+	}
+	if len(p.sims) == 1 {
+		ws := p.sims[0]
+		w64, _ := ws.(*wideSim[[1]uint64])
+		for s := 0; s < nSub && live > 0; s++ {
+			loadSub(ws, s)
+			base := int16(s * 64)
+			if w64 != nil {
+				for fi := range faults {
+					if skip(fi) || laneOf[fi] >= 0 {
+						continue
+					}
+					if mk := w64.detects(faults[fi])[0]; mk != 0 {
+						laneOf[fi] = base + int16(bits.TrailingZeros64(mk))
+						live--
+					}
+				}
+				continue
+			}
+			for fi := range faults {
+				if skip(fi) || laneOf[fi] >= 0 {
+					continue
+				}
+				if mk := ws.detectsMask(faults[fi]); mk[0] != 0 {
+					laneOf[fi] = base + int16(bits.TrailingZeros64(mk[0]))
+					live--
+				}
+			}
+		}
+		return
+	}
+	shared := int64(live)
+	chunk := (len(faults) + len(p.sims) - 1) / len(p.sims)
+	for s := 0; s < nSub && atomic.LoadInt64(&shared) > 0; s++ {
+		base := int16(s * 64)
+		var wg sync.WaitGroup
+		for w := range p.sims {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(faults) {
+				hi = len(faults)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(ws faultSim, lo, hi int) {
+				defer wg.Done()
+				loadSub(ws, s)
+				for fi := lo; fi < hi; fi++ {
+					if skip(fi) || laneOf[fi] >= 0 {
+						continue
+					}
+					if mk := ws.detectsMask(faults[fi]); mk[0] != 0 {
+						laneOf[fi] = base + int16(bits.TrailingZeros64(mk[0]))
+						atomic.AddInt64(&shared, -1)
+					}
+				}
+			}(p.sims[w], lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+// fillSubWords generates the pattern content of global 64-pattern sub-block
+// `sub`: one lane word per controllable (bit k = pattern sub*64+k's value),
+// from a splitmix64 stream seeded by subSeed. Each sub-block's content is a
+// pure function of (seed, sub), so any lane width generates exactly the
+// same pattern sequence, speculative sub-blocks past a mid-block stop cost
+// nothing but their own generation, and the driver rng stream is left
+// untouched for the PODEM phase's don't-care fill. Generating words rather
+// than pattern bytes feeds the simulator's transposed layout directly —
+// one RNG step per 64 lanes of a controllable instead of one per lane.
+func fillSubWords(seed, sub int64, w []uint64) {
+	st := uint64(subSeed(seed, sub))
+	for ci := range w {
+		st += 0x9e3779b97f4a7c15
+		z := st
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		w[ci] = z
+	}
+}
+
+// subSeed derives the pattern-generator state of a global 64-pattern
+// sub-block from the configured seed (splitmix64 finalizer).
+func subSeed(seed, sub int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(sub+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // randomPhase applies seeded random blocks with fault dropping and returns
-// the patterns that were first detectors of at least one fault. The block
-// and its 64 pattern buffers are allocated once and refilled per
-// iteration; kept patterns are cloned out of the reused buffers.
-func randomPhase(ctx context.Context, sim *Simulator, u *Universe, cfg Config, rng *rand.Rand, detected []bool, res *Result, m *runMetrics, bud budget) []Pattern {
-	pool := newSimPool(sim.n, cfg.Workers)
+// the patterns that were first detectors of at least one fault. Blocks are
+// simulated pool.lanes() patterns at a time, but pattern content is keyed
+// to the global 64-pattern sub-block index (subSeed) and detection credit
+// and the dry/total stopping rule replay the sub-blocks in serial order, so
+// the detected set, counters and kept patterns are identical at every lane
+// width. The 64-lane screening tier of firstLanes is enabled while it pays
+// — while at least 1/16th of the live faults drop per block — and skipped
+// once the survivors dominate, where a single full-width pass is cheaper.
+func randomPhase(ctx context.Context, pool *simPool, u *Universe, cfg Config, detected []bool, res *Result, m *runMetrics, bud budget) []Pattern {
+	width := pool.lanes()
+	nSub := width / 64
+	nCtrl := pool.sims[0].NumControls()
 	var kept []Pattern
 	dry := 0
 	total := 0
-	laneOf := make([]int8, len(u.Faults))
-	block := make([]Pattern, 64)
-	for k := range block {
-		block[k] = make(Pattern, sim.NumControls())
+	sub := 0 // global sub-block counter: seeds pattern generation
+	screen := true
+	laneOf := make([]int16, len(u.Faults))
+	words := make([][]uint64, nSub)
+	for s := range words {
+		words[s] = make([]uint64, nCtrl)
 	}
+	subHits := make([][]int32, nSub) // newly detected fault indices per sub-block
 	for total < cfg.MaxRandomPatterns && dry < cfg.RandomDryBlocks {
 		if ctx.Err() != nil || bud.expired() {
 			return kept
 		}
+		// Fill up to nSub sub-blocks. The total bound is known in advance;
+		// the dry bound is only resolved during replay below, so later
+		// sub-blocks are generated speculatively.
+		gen := 0
+		for s := 0; s < nSub && total+64*s < cfg.MaxRandomPatterns; s++ {
+			fillSubWords(cfg.Seed, int64(sub+s), words[s])
+			gen++
+		}
+		sub += gen
 		m.blocks++
-		m.lanes += int64(len(block))
-		for k := range block {
-			p := block[k]
-			for i := range p {
-				p[i] = uint8(rng.Intn(2))
-			}
+		m.lanes += int64(gen * 64)
+		pool.firstLanesWords(u.Faults, words[:gen], screen, func(fi int) bool { return detected[fi] }, laneOf)
+		cands, hits := 0, 0
+		for s := range subHits {
+			subHits[s] = subHits[s][:0]
 		}
-		total += len(block)
-		for i := range laneOf {
-			laneOf[i] = -1
-		}
-		pool.forBlock(block, len(u.Faults), func(s *Simulator, fi int) {
+		for fi := range u.Faults {
 			if detected[fi] {
-				return
-			}
-			mask := s.Detects(u.Faults[fi])
-			if mask == 0 {
-				return
-			}
-			lane := int8(0)
-			for mask&1 == 0 {
-				mask >>= 1
-				lane++
-			}
-			laneOf[fi] = lane
-		})
-		laneUseful := uint64(0)
-		newly := 0
-		for fi, lane := range laneOf {
-			if lane < 0 {
 				continue
 			}
-			detected[fi] = true
-			newly++
-			laneUseful |= 1 << uint(lane)
+			cands++
+			if lane := laneOf[fi]; lane >= 0 {
+				hits++
+				subHits[lane>>6] = append(subHits[lane>>6], int32(fi))
+			}
 		}
-		res.Detected += newly
-		res.RandomDetected += newly
-		if newly == 0 {
-			dry++
-			continue
-		}
-		dry = 0
-		for k := range block {
-			if laneUseful>>uint(k)&1 == 1 {
-				kept = append(kept, block[k].Clone())
+		screen = hits*16 >= cands
+		// Replay the sub-blocks in serial order: a fault's first detecting
+		// lane falls in the same sub-block the 64-lane schedule would have
+		// detected it in, and the stopping rule is applied exactly where
+		// that schedule would have stopped. A mid-block stop leaves later
+		// sub-blocks' detections unapplied, exactly as if never simulated.
+		for s := 0; s < gen; s++ {
+			total += 64
+			lo := int16(s * 64)
+			laneUseful := uint64(0)
+			for _, fi := range subHits[s] {
+				detected[fi] = true
+				laneUseful |= 1 << uint(laneOf[fi]-lo)
+			}
+			newly := len(subHits[s])
+			res.Detected += newly
+			res.RandomDetected += newly
+			if newly == 0 {
+				dry++
+			} else {
+				dry = 0
+				for k := 0; k < 64; k++ {
+					if laneUseful>>uint(k)&1 == 1 {
+						p := make(Pattern, nCtrl)
+						for ci, w := range words[s] {
+							p[ci] = uint8(w >> uint(k) & 1)
+						}
+						kept = append(kept, p)
+					}
+				}
+			}
+			if total >= cfg.MaxRandomPatterns || dry >= cfg.RandomDryBlocks {
+				return kept
 			}
 		}
 	}
@@ -676,46 +939,44 @@ func fillPattern(asg []v3, rng *rand.Rand) Pattern {
 }
 
 // compactReverse performs reverse-order static compaction: patterns are
-// re-fault-simulated from last to first, 64 lanes per block, and kept
-// only if they are the first (in that order) to detect some fault.
-func compactReverse(sim *Simulator, u *Universe, patterns []Pattern, detected []bool, workers int, m *runMetrics) []Pattern {
+// re-fault-simulated from last to first, pool.lanes() per block, and kept
+// only if they are the first (in that order) to detect some fault. The
+// first-detecting-lane credit is in lane order, so widening the block
+// keeps the decision — and the kept set — identical to the 64-lane
+// schedule.
+func compactReverse(pool *simPool, u *Universe, patterns []Pattern, detected []bool, m *runMetrics) []Pattern {
 	if len(patterns) == 0 {
 		return patterns
 	}
-	pool := newSimPool(sim.n, workers)
+	width := pool.lanes()
 	reversed := make([]Pattern, len(patterns))
 	for i, p := range patterns {
 		reversed[len(patterns)-1-i] = p
 	}
 	covered := make([]bool, len(u.Faults))
 	useful := make([]bool, len(reversed))
-	laneOf := make([]int8, len(u.Faults))
-	for start := 0; start < len(reversed); start += 64 {
-		end := start + 64
+	laneOf := make([]int16, len(u.Faults))
+	screen := true
+	for start := 0; start < len(reversed); start += width {
+		end := start + width
 		if end > len(reversed) {
 			end = len(reversed)
 		}
 		block := reversed[start:end]
 		m.blocks++
 		m.lanes += int64(len(block))
-		for i := range laneOf {
-			laneOf[i] = -1
-		}
-		pool.forBlock(block, len(u.Faults), func(s *Simulator, fi int) {
+		pool.firstLanes(u.Faults, block, screen, func(fi int) bool { return !detected[fi] || covered[fi] }, laneOf)
+		cands, hits := 0, 0
+		for fi := range u.Faults {
 			if !detected[fi] || covered[fi] {
-				return
+				continue
 			}
-			mask := s.Detects(u.Faults[fi])
-			if mask == 0 {
-				return
+			cands++
+			if laneOf[fi] >= 0 {
+				hits++
 			}
-			lane := int8(0)
-			for mask&1 == 0 {
-				mask >>= 1
-				lane++
-			}
-			laneOf[fi] = lane
-		})
+		}
+		screen = hits*16 >= cands
 		for fi, lane := range laneOf {
 			if lane < 0 {
 				continue

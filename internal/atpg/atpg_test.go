@@ -95,7 +95,7 @@ func TestPodemAgreesWithExhaustiveOnSmallCircuit(t *testing.T) {
 	n := buildSmall(t)
 	u := NewUniverse(n)
 	sim := NewSimulator(n)
-	eng := newPodem(sim, 1000)
+	eng := newPodem(sim.t, 1000)
 	for _, f := range u.Faults {
 		asg, outcome := eng.generate(f)
 		truth := exhaustiveDetects(n, f)
@@ -152,7 +152,7 @@ func TestPodemRedundantFaultViaConstant(t *testing.T) {
 		t.Fatal("test circuit lacks expected structure")
 	}
 	sim := NewSimulator(n)
-	eng := newPodem(sim, 1000)
+	eng := newPodem(sim.t, 1000)
 	if _, outcome := eng.generate(f); outcome != podemRedundant {
 		t.Fatalf("outcome %v, want redundant", outcome)
 	}
@@ -342,10 +342,10 @@ func TestValueAlgebra(t *testing.T) {
 // fullDetects is the reference (pre-optimization) whole-netlist fault
 // evaluation, kept in tests to A/B the cone-restricted fast path.
 func fullDetects(s *Simulator, f Fault) uint64 {
-	n := s.n
+	n := s.t.n
 	work := make([]uint64, n.NumNets())
-	for _, net := range s.ctrl {
-		work[net] = s.good[net]
+	for _, net := range s.t.ctrl {
+		work[net] = s.good[net][0]
 	}
 	for _, gi := range n.TopoOrder() {
 		g := &n.Gates[gi]
@@ -365,10 +365,106 @@ func fullDetects(s *Simulator, f Fault) uint64 {
 		work[g.Out] = out
 	}
 	var diff uint64
-	for _, o := range s.obs {
-		diff |= work[o] ^ s.good[o]
+	for _, o := range s.t.obs {
+		diff |= work[o] ^ s.good[o][0]
 	}
-	return diff & s.valid
+	return diff & s.valid[0]
+}
+
+// evalGateFast and evalGateWithPin are the retired gate-pointer scalar
+// kernels, kept here as the independent reference implementation the
+// flat-view engine is A/B-checked against.
+func evalGateFast(g *netlist.Gate, w []uint64) uint64 {
+	switch g.Type {
+	case netlist.Const0:
+		return 0
+	case netlist.Const1:
+		return ^uint64(0)
+	case netlist.Buf:
+		return w[g.In[0]]
+	case netlist.Not:
+		return ^w[g.In[0]]
+	case netlist.And, netlist.Nand:
+		v := w[g.In[0]]
+		for _, in := range g.In[1:] {
+			v &= w[in]
+		}
+		if g.Type == netlist.Nand {
+			v = ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := w[g.In[0]]
+		for _, in := range g.In[1:] {
+			v |= w[in]
+		}
+		if g.Type == netlist.Nor {
+			v = ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := w[g.In[0]]
+		for _, in := range g.In[1:] {
+			v ^= w[in]
+		}
+		if g.Type == netlist.Xnor {
+			v = ^v
+		}
+		return v
+	default: // Mux2
+		sel, a0, a1 := w[g.In[0]], w[g.In[1]], w[g.In[2]]
+		return a0&^sel | a1&sel
+	}
+}
+
+func evalGateWithPin(g *netlist.Gate, w []uint64, pin int, sa uint8) uint64 {
+	forced := uint64(0)
+	if sa == 1 {
+		forced = ^uint64(0)
+	}
+	pinVal := func(i int) uint64 {
+		if i == pin {
+			return forced
+		}
+		return w[g.In[i]]
+	}
+	switch g.Type {
+	case netlist.Buf:
+		return pinVal(0)
+	case netlist.Not:
+		return ^pinVal(0)
+	case netlist.And, netlist.Nand:
+		v := pinVal(0)
+		for i := 1; i < len(g.In); i++ {
+			v &= pinVal(i)
+		}
+		if g.Type == netlist.Nand {
+			v = ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := pinVal(0)
+		for i := 1; i < len(g.In); i++ {
+			v |= pinVal(i)
+		}
+		if g.Type == netlist.Nor {
+			v = ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := pinVal(0)
+		for i := 1; i < len(g.In); i++ {
+			v ^= pinVal(i)
+		}
+		if g.Type == netlist.Xnor {
+			v = ^v
+		}
+		return v
+	case netlist.Mux2:
+		return pinVal(1)&^pinVal(0) | pinVal(2)&pinVal(0)
+	default:
+		return evalGateFast(g, w)
+	}
 }
 
 // TestConeDetectsMatchesFullEvaluation A/Bs the cone-restricted fault
@@ -435,10 +531,23 @@ func TestConeDetectsMatchesFullEvaluation(t *testing.T) {
 				t.Fatalf("circuit %d fault %v: cone mask %#x, full mask %#x", ci, f, fast, slow)
 			}
 		}
-		// Scratch state must be fully cleared between faults.
+		// The cone is repaired lazily: after a Detects call the scratch
+		// state may carry exactly the slots recorded in coneBuf — any
+		// marked slot outside it would leak into the next fault's walk.
+		marked := make(map[int32]bool, len(sim.coneBuf))
+		for _, gs := range sim.coneBuf {
+			marked[gs] = true
+		}
+		for gi, m := range sim.inCone {
+			if m != marked[int32(gi)] {
+				t.Fatalf("circuit %d: inCone[%d]=%v inconsistent with recorded cone", ci, gi, m)
+			}
+		}
+		// And the repair itself must restore the good machine.
+		sim.LoadBlock(block)
 		for gi, m := range sim.inCone {
 			if m {
-				t.Fatalf("circuit %d: inCone[%d] left set", ci, gi)
+				t.Fatalf("circuit %d: inCone[%d] left set after block load", ci, gi)
 			}
 		}
 	}

@@ -115,6 +115,56 @@ func BenchmarkDetectsWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultSimCold is the lanes × component-class grid behind
+// BENCH_faultsim.json: one cold annotation (full RunContext — random
+// phase, PODEM top-up, compaction) per iteration, at every supported lane
+// width, for each component class of the default DSE space. The detected
+// sets and patterns are byte-identical across the lanes= variants (see
+// TestRunIdenticalAcrossLaneWidthsAndWorkers); only wall time may differ.
+func BenchmarkFaultSimCold(b *testing.B) {
+	lib := gatelib.NewLibrary()
+	classes := []struct {
+		name  string
+		build func() (*gatelib.Component, error)
+	}{
+		{"alu16_ripple", func() (*gatelib.Component, error) {
+			return lib.ALU(gatelib.ALUConfig{Width: 16, Adder: gatelib.AdderRipple})
+		}},
+		{"alu16_cs", func() (*gatelib.Component, error) {
+			return lib.ALU(gatelib.ALUConfig{Width: 16, Adder: gatelib.AdderCarrySelect})
+		}},
+		{"cmp16", func() (*gatelib.Component, error) { return lib.CMP(16) }},
+		{"rf16x8_1w2r", func() (*gatelib.Component, error) {
+			return lib.RF(gatelib.RFConfig{Width: 16, NumRegs: 8, NumIn: 1, NumOut: 2})
+		}},
+		{"rf16x16_2w2r", func() (*gatelib.Component, error) {
+			return lib.RF(gatelib.RFConfig{Width: 16, NumRegs: 16, NumIn: 2, NumOut: 2})
+		}},
+		{"ldst16", func() (*gatelib.Component, error) { return lib.LDST(16) }},
+		{"pc16", func() (*gatelib.Component, error) { return lib.PC(16) }},
+		{"imm16", func() (*gatelib.Component, error) { return lib.IMM(16) }},
+	}
+	for _, cl := range classes {
+		comp, err := cl.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lanes := range laneWidths {
+			b.Run(fmt.Sprintf("%s/lanes=%d", cl.name, lanes), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := RunContext(context.Background(), comp.Seq, Config{Seed: 7, LaneWidth: lanes})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Coverage() < 0.9 {
+						b.Fatalf("coverage collapsed: %v", res)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFullRun is the end-to-end ATPG cost for one library component
 // (the unit the annotation cache pays per miss).
 func BenchmarkFullRun(b *testing.B) {

@@ -130,8 +130,9 @@ func TestBatchDropperMatchesPerPatternDrop(t *testing.T) {
 		detected := make([]bool, len(u.Faults))
 		res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
 		m := &runMetrics{}
-		patterns := randomPhase(context.Background(), sim, u, cfg, rng, detected, res, m, budget{})
-		eng := newPodem(sim, cfg.BacktrackLimit)
+		pool := newSimPool(sim.t, 64, cfg.Workers)
+		patterns := randomPhase(context.Background(), pool, u, cfg, detected, res, m, budget{})
+		eng := newPodem(sim.t, cfg.BacktrackLimit)
 		for fi := range u.Faults {
 			if detected[fi] {
 				continue
@@ -170,7 +171,8 @@ func TestBatchDropperMatchesPerPatternDrop(t *testing.T) {
 	detected := make([]bool, len(u.Faults))
 	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
 	m := &runMetrics{}
-	patterns := randomPhase(context.Background(), sim, u, cfg, rng, detected, res, m, budget{})
+	pool := newSimPool(sim.t, 64, cfg.Workers)
+	patterns := randomPhase(context.Background(), pool, u, cfg, detected, res, m, budget{})
 	patterns, err = podemTopUp(context.Background(), sim, u, cfg, rng, detected, res, patterns, m, budget{})
 	if err != nil {
 		t.Fatal(err)

@@ -19,13 +19,18 @@ const (
 // forward implication, so the state is always consistent.
 type podem struct {
 	n          *netlist.Netlist
-	sim        *Simulator
+	t          *simTopo
 	fault      Fault
 	vals       []val5 // per net
 	assign     []v3   // per controllable point
 	ctrlOf     []int32
 	limit      int
 	backtracks int
+
+	// CSR fanout (shared, read-only): the gates reading net x are
+	// fanGate[fanStart[x]:fanStart[x+1]].
+	fanStart []int32
+	fanGate  []int32
 	// Engine-lifetime totals across every generate call, reported to the
 	// observability registry by the ATPG driver.
 	totalDecisions  int64
@@ -55,8 +60,10 @@ type podem struct {
 	// logic level, so draining the buckets level by level visits gates in
 	// a valid topological order with O(1) enqueue and dequeue; gates on
 	// the same level never feed each other, so intra-level order cannot
-	// affect the fixpoint.
-	levelOf []int32   // gate -> logic level (longest path from a control)
+	// affect the fixpoint. The levels are the netlist's own (Flat.GateLevel,
+	// shared read-only) — any level function with the strict-climb property
+	// reaches the same fixpoint.
+	levelOf []int32   // gate -> logic level (shared with netlist.Flat)
 	buckets [][]int32 // pending gates per level
 	inQ     []bool
 }
@@ -67,43 +74,31 @@ type decision struct {
 	flipped bool
 }
 
-// newPodem prepares a PODEM engine bound to a simulator's netlist view.
-func newPodem(sim *Simulator, limit int) *podem {
-	n := sim.n
+// newPodem prepares a PODEM engine bound to a shared structural view. The
+// view is read-only; any number of engines (one per shard worker) can bind
+// the same simTopo concurrently.
+func newPodem(t *simTopo, limit int) *podem {
+	n := t.n
 	p := &podem{
-		n:      n,
-		sim:    sim,
-		vals:   make([]val5, n.NumNets()),
-		assign: make([]v3, len(sim.ctrl)),
-		ctrlOf: make([]int32, n.NumNets()),
-		limit:  limit,
+		n:        n,
+		t:        t,
+		vals:     make([]val5, n.NumNets()),
+		assign:   make([]v3, len(t.ctrl)),
+		ctrlOf:   make([]int32, n.NumNets()),
+		limit:    limit,
+		fanStart: t.fl.FanStart,
+		fanGate:  t.fl.FanGate,
 	}
 	for i := range p.ctrlOf {
 		p.ctrlOf[i] = -1
 	}
-	for ci, net := range sim.ctrl {
+	for ci, net := range t.ctrl {
 		p.ctrlOf[net] = int32(ci)
 	}
 	p.xVisited = make([]bool, len(n.Gates))
 	p.inQ = make([]bool, len(n.Gates))
-	p.levelOf = make([]int32, len(n.Gates))
-	maxLevel := int32(0)
-	for _, gi := range n.TopoOrder() {
-		g := &n.Gates[gi]
-		lvl := int32(0)
-		for _, in := range g.In {
-			if d := n.Driver(in); d.Kind == netlist.DriverGate {
-				if dl := p.levelOf[d.Index] + 1; dl > lvl {
-					lvl = dl
-				}
-			}
-		}
-		p.levelOf[gi] = lvl
-		if lvl > maxLevel {
-			maxLevel = lvl
-		}
-	}
-	p.buckets = make([][]int32, maxLevel+1)
+	p.levelOf = t.fl.GateLevel
+	p.buckets = make([][]int32, t.fl.NumLevels)
 	// Establish the fault-free all-X fixpoint; generate maintains it
 	// incrementally from here on (fault.Gate == -1 means "no injection" —
 	// real gate indices are non-negative).
@@ -138,22 +133,23 @@ func (p *podem) xPathExists() bool {
 		gi := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out := p.n.Gates[gi].Out
-		if len(p.sim.obsOfNet[out]) > 0 {
+		if len(p.t.obsOfNet[out]) > 0 {
 			found = true
 			break
 		}
-		for _, ld := range p.sim.fanout[out] {
-			if visited[ld.Gate] {
+		for i, e := p.fanStart[out], p.fanStart[out+1]; i < e; i++ {
+			fg := p.fanGate[i]
+			if visited[fg] {
 				continue
 			}
-			g := &p.n.Gates[ld.Gate]
+			g := &p.n.Gates[fg]
 			v := p.vals[g.Out]
 			if v.g != vX && v.f != vX {
 				continue // fully determined; a fault effect cannot pass
 			}
-			visited[ld.Gate] = true
-			touched = append(touched, ld.Gate)
-			stack = append(stack, ld.Gate)
+			visited[fg] = true
+			touched = append(touched, fg)
+			stack = append(stack, fg)
 		}
 	}
 	for _, gi := range touched {
@@ -236,17 +232,18 @@ func (p *podem) buildCone() {
 	marked[p.fault.Gate] = true
 	for qi := 0; qi < len(cone); qi++ {
 		out := p.n.Gates[cone[qi]].Out
-		for _, ld := range p.sim.fanout[out] {
-			if !marked[ld.Gate] {
-				marked[ld.Gate] = true
-				cone = insertByTopo(cone, qi, ld.Gate, p.sim.topoPos)
+		for i, e := p.fanStart[out], p.fanStart[out+1]; i < e; i++ {
+			fg := p.fanGate[i]
+			if !marked[fg] {
+				marked[fg] = true
+				cone = insertByTopo(cone, qi, fg, p.t.topoPos)
 			}
 		}
 	}
 	obs := p.coneObs[:0]
 	for _, gi := range cone {
 		out := p.n.Gates[gi].Out
-		if len(p.sim.obsOfNet[out]) > 0 {
+		if len(p.t.obsOfNet[out]) > 0 {
 			obs = append(obs, out)
 		}
 		marked[gi] = false
@@ -284,10 +281,10 @@ func (p *podem) retarget(f Fault) {
 			continue
 		}
 		p.assign[ci] = vX
-		net := p.sim.ctrl[ci]
+		net := p.t.ctrl[ci]
 		p.vals[net] = vvX
-		for _, ld := range p.sim.fanout[net] {
-			push(ld.Gate)
+		for i, e := p.fanStart[net], p.fanStart[net+1]; i < e; i++ {
+			push(p.fanGate[i])
 		}
 	}
 	// Enqueued gates are always re-evaluated (pruning only skips their
@@ -309,8 +306,8 @@ func (p *podem) retarget(f Fault) {
 				continue
 			}
 			p.vals[g.Out] = out
-			for _, ld := range p.sim.fanout[g.Out] {
-				push(ld.Gate)
+			for i, e := p.fanStart[g.Out], p.fanStart[g.Out+1]; i < e; i++ {
+				push(p.fanGate[i])
 			}
 		}
 		buckets[l] = b[:0]
@@ -341,7 +338,7 @@ func (p *podem) evalFaultGate(gi int32) val5 {
 // is evaluated at most once, after all of its dirty inputs settled.
 func (p *podem) setAssign(ci int, v v3) {
 	p.assign[ci] = v
-	net := p.sim.ctrl[ci]
+	net := p.t.ctrl[ci]
 	nv := val5{v, v}
 	if p.vals[net] == nv {
 		return
@@ -359,8 +356,8 @@ func (p *podem) propagate(net netlist.Net) {
 	faultGate := p.fault.Gate
 	lo := int32(len(buckets))
 	hi := int32(-1)
-	for _, ld := range p.sim.fanout[net] {
-		gi := ld.Gate
+	for i, e := p.fanStart[net], p.fanStart[net+1]; i < e; i++ {
+		gi := p.fanGate[i]
 		if inQ[gi] {
 			continue
 		}
@@ -389,8 +386,8 @@ func (p *podem) propagate(net netlist.Net) {
 				continue
 			}
 			p.vals[g.Out] = out
-			for _, ld := range p.sim.fanout[g.Out] {
-				fg := ld.Gate
+			for i, e := p.fanStart[g.Out], p.fanStart[g.Out+1]; i < e; i++ {
+				fg := p.fanGate[i]
 				if inQ[fg] {
 					continue
 				}
@@ -735,6 +732,20 @@ func (p *podem) backtrace(net netlist.Net, want v3) (int, v3, bool) {
 			return 0, v0, false
 		}
 	}
+}
+
+// insertByTopo inserts gate gi into cone (topologically sorted beyond
+// position qi), keeping the order. Fanout edges always point forward, so
+// insertion never lands at or before qi.
+func insertByTopo(cone []int32, qi int, gi int32, topoPos []int32) []int32 {
+	pos := len(cone)
+	for pos > qi+1 && topoPos[cone[pos-1]] > topoPos[gi] {
+		pos--
+	}
+	cone = append(cone, 0)
+	copy(cone[pos+1:], cone[pos:])
+	cone[pos] = gi
+	return cone
 }
 
 // pickXInput returns an input with unknown good value — the first one, or

@@ -12,347 +12,40 @@ type Pattern []uint8
 // Clone returns a copy of the pattern.
 func (p Pattern) Clone() Pattern { return append(Pattern(nil), p...) }
 
-// Simulator is a parallel-pattern (64 lanes) serial-fault simulator over
-// the full-scan view of a netlist. Fault evaluation is cone-restricted:
-// only gates in the transitive fanout of the fault site are re-evaluated,
-// and only observables inside that cone are compared.
+// Simulator is the classic 64-lane parallel-pattern serial-fault simulator
+// over the full-scan view of a netlist: the word-width instantiation of the
+// width-parameterized wideSim engine, kept as the package's stable API
+// (bist, tdf and the functional-test flow all speak uint64 lane masks).
+// Fault evaluation is cone-restricted and event-driven; see wideSim.
 type Simulator struct {
-	n     *netlist.Netlist
-	ctrl  []netlist.Net
-	obs   []netlist.Net
-	good  []uint64
-	work  []uint64
-	valid uint64 // mask of lanes carrying real patterns
-
-	fanout [][]netlist.Load
-	// Scratch state for cone construction (reused across faults).
-	inCone   []bool
-	coneBuf  []int32
-	obsOfNet [][]int32 // observable indices listening on each net
-	topoPos  []int32   // gate -> position in topological order
-	insBuf   []uint64  // per-gate input scratch (sized to the max fan-in)
+	wideSim[[1]uint64]
 }
 
 // NewSimulator prepares a simulator for the netlist.
 func NewSimulator(n *netlist.Netlist) *Simulator {
-	s := &Simulator{
-		n:    n,
-		good: make([]uint64, n.NumNets()),
-		work: make([]uint64, n.NumNets()),
-	}
-	s.ctrl = append(s.ctrl, n.PIs...)
-	for _, ff := range n.FFs {
-		s.ctrl = append(s.ctrl, ff.Q)
-	}
-	s.obs = append(s.obs, n.POs...)
-	for _, ff := range n.FFs {
-		s.obs = append(s.obs, ff.D)
-	}
-	s.fanout = n.FanoutTable()
-	s.inCone = make([]bool, len(n.Gates))
-	s.obsOfNet = make([][]int32, n.NumNets())
-	for oi, net := range s.obs {
-		s.obsOfNet[net] = append(s.obsOfNet[net], int32(oi))
-	}
-	s.topoPos = make([]int32, len(n.Gates))
-	for pos, gi := range n.TopoOrder() {
-		s.topoPos[gi] = int32(pos)
-	}
-	maxIn := 0
-	for gi := range n.Gates {
-		if l := len(n.Gates[gi].In); l > maxIn {
-			maxIn = l
-		}
-	}
-	s.insBuf = make([]uint64, maxIn)
-	return s
+	return &Simulator{wideSim: *newWideSim[[1]uint64](newSimTopo(n))}
 }
-
-// Controllables returns the controllable points in pattern order.
-func (s *Simulator) Controllables() []netlist.Net { return s.ctrl }
-
-// Observables returns the observable points (POs then FF D nets).
-func (s *Simulator) Observables() []netlist.Net { return s.obs }
-
-// NumControls returns the pattern width.
-func (s *Simulator) NumControls() int { return len(s.ctrl) }
 
 // LoadBlock loads up to 64 patterns (lane k = pats[k]) and evaluates the
 // fault-free circuit.
-func (s *Simulator) LoadBlock(pats []Pattern) {
-	if len(pats) > 64 {
-		pats = pats[:64]
-	}
-	if len(pats) == 64 {
-		s.valid = ^uint64(0)
-	} else {
-		s.valid = uint64(1)<<uint(len(pats)) - 1
-	}
-	for ci, net := range s.ctrl {
-		var w uint64
-		for k, p := range pats {
-			if p[ci] != 0 {
-				w |= 1 << uint(k)
-			}
-		}
-		s.good[net] = w
-	}
-	evalAll(s.n, s.good)
-}
-
-// evalAll evaluates all gates of n into vals (which must already hold the
-// controllable-point values).
-func evalAll(n *netlist.Netlist, vals []uint64) {
-	for _, gi := range n.TopoOrder() {
-		g := &n.Gates[gi]
-		vals[g.Out] = evalGateFast(g, vals)
-	}
-}
-
-func evalGateFast(g *netlist.Gate, w []uint64) uint64 {
-	switch g.Type {
-	case netlist.Const0:
-		return 0
-	case netlist.Const1:
-		return ^uint64(0)
-	case netlist.Buf:
-		return w[g.In[0]]
-	case netlist.Not:
-		return ^w[g.In[0]]
-	case netlist.And, netlist.Nand:
-		v := w[g.In[0]]
-		for _, in := range g.In[1:] {
-			v &= w[in]
-		}
-		if g.Type == netlist.Nand {
-			v = ^v
-		}
-		return v
-	case netlist.Or, netlist.Nor:
-		v := w[g.In[0]]
-		for _, in := range g.In[1:] {
-			v |= w[in]
-		}
-		if g.Type == netlist.Nor {
-			v = ^v
-		}
-		return v
-	case netlist.Xor, netlist.Xnor:
-		v := w[g.In[0]]
-		for _, in := range g.In[1:] {
-			v ^= w[in]
-		}
-		if g.Type == netlist.Xnor {
-			v = ^v
-		}
-		return v
-	default: // Mux2
-		sel, a0, a1 := w[g.In[0]], w[g.In[1]], w[g.In[2]]
-		return a0&^sel | a1&sel
-	}
-}
-
-// evalGateWithPin evaluates g with input pin `pin` forced to the stuck
-// value. The forced value is substituted inline while folding over the
-// inputs, so the hottest call of the fault simulator (one excitation
-// check per Detects) performs no allocation and no input copy.
-func evalGateWithPin(g *netlist.Gate, w []uint64, pin int, sa uint8) uint64 {
-	forced := uint64(0)
-	if sa == 1 {
-		forced = ^uint64(0)
-	}
-	pinVal := func(i int) uint64 {
-		if i == pin {
-			return forced
-		}
-		return w[g.In[i]]
-	}
-	switch g.Type {
-	case netlist.Buf:
-		return pinVal(0)
-	case netlist.Not:
-		return ^pinVal(0)
-	case netlist.And, netlist.Nand:
-		v := pinVal(0)
-		for i := 1; i < len(g.In); i++ {
-			v &= pinVal(i)
-		}
-		if g.Type == netlist.Nand {
-			v = ^v
-		}
-		return v
-	case netlist.Or, netlist.Nor:
-		v := pinVal(0)
-		for i := 1; i < len(g.In); i++ {
-			v |= pinVal(i)
-		}
-		if g.Type == netlist.Nor {
-			v = ^v
-		}
-		return v
-	case netlist.Xor, netlist.Xnor:
-		v := pinVal(0)
-		for i := 1; i < len(g.In); i++ {
-			v ^= pinVal(i)
-		}
-		if g.Type == netlist.Xnor {
-			v = ^v
-		}
-		return v
-	case netlist.Mux2:
-		return pinVal(1)&^pinVal(0) | pinVal(2)&pinVal(0)
-	default:
-		return evalGateFast(g, w)
-	}
-}
+func (s *Simulator) LoadBlock(pats []Pattern) { s.loadBlock(pats) }
 
 // Detects simulates the fault against the currently loaded block and
 // returns the lane mask of patterns whose observable response differs from
 // the fault-free circuit. Only the fault's fanout cone is re-evaluated; a
 // difference that reconverges to the good value prunes its subtree.
-func (s *Simulator) Detects(f Fault) uint64 {
-	n := s.n
-	g0 := &n.Gates[f.Gate]
-	var out0 uint64
-	if f.Pin >= 0 {
-		// The root gate's inputs are all fault-free.
-		out0 = evalGateWithPin(g0, s.good, int(f.Pin), f.SA)
-	} else if f.SA == 1 {
-		out0 = ^uint64(0)
-	} else {
-		out0 = 0
-	}
-	if out0 == s.good[g0.Out] {
-		return 0 // fault never excited in this block
-	}
-
-	cone := s.coneBuf[:0]
-	cone = append(cone, f.Gate)
-	s.inCone[f.Gate] = true
-	s.work[g0.Out] = out0
-	var diff uint64
-	if len(s.obsOfNet[g0.Out]) > 0 {
-		diff = out0 ^ s.good[g0.Out]
-	}
-	for _, ld := range s.fanout[g0.Out] {
-		if !s.inCone[ld.Gate] {
-			s.inCone[ld.Gate] = true
-			cone = insertByTopo(cone, 0, ld.Gate, s.topoPos)
-		}
-	}
-
-	for qi := 1; qi < len(cone); qi++ {
-		gi := cone[qi]
-		g := &n.Gates[gi]
-		out := s.evalGateCone(g)
-		s.work[g.Out] = out
-		if out == s.good[g.Out] {
-			// The difference died here; downstream reads the good value.
-			s.inCone[gi] = false
-			continue
-		}
-		if len(s.obsOfNet[g.Out]) > 0 {
-			diff |= out ^ s.good[g.Out]
-		}
-		for _, ld := range s.fanout[g.Out] {
-			if !s.inCone[ld.Gate] {
-				s.inCone[ld.Gate] = true
-				cone = insertByTopo(cone, qi, ld.Gate, s.topoPos)
-			}
-		}
-	}
-	for _, gi := range cone {
-		s.inCone[gi] = false
-	}
-	s.coneBuf = cone
-	return diff & s.valid
-}
-
-// insertByTopo inserts gate gi into cone (topologically sorted beyond
-// position qi), keeping the order. Fanout edges always point forward, so
-// insertion never lands at or before qi.
-func insertByTopo(cone []int32, qi int, gi int32, topoPos []int32) []int32 {
-	pos := len(cone)
-	for pos > qi+1 && topoPos[cone[pos-1]] > topoPos[gi] {
-		pos--
-	}
-	cone = append(cone, 0)
-	copy(cone[pos+1:], cone[pos:])
-	cone[pos] = gi
-	return cone
-}
-
-// evalGateCone evaluates a gate whose inputs take faulty values where the
-// driver is a live cone member and good values everywhere else. The input
-// scratch is the simulator's insBuf (sized to the netlist's max fan-in at
-// construction), keeping the per-gate evaluation allocation-free.
-func (s *Simulator) evalGateCone(g *netlist.Gate) uint64 {
-	ins := s.insBuf[:0]
-	for _, in := range g.In {
-		v := s.good[in]
-		if d := s.n.Driver(in); d.Kind == netlist.DriverGate && s.inCone[d.Index] {
-			v = s.work[in]
-		}
-		ins = append(ins, v)
-	}
-	return evalGateVals(g.Type, ins)
-}
-
-// evalGateVals evaluates a gate over explicit input words.
-func evalGateVals(t netlist.GateType, ins []uint64) uint64 {
-	switch t {
-	case netlist.Const0:
-		return 0
-	case netlist.Const1:
-		return ^uint64(0)
-	case netlist.Buf:
-		return ins[0]
-	case netlist.Not:
-		return ^ins[0]
-	case netlist.And, netlist.Nand:
-		v := ins[0]
-		for _, x := range ins[1:] {
-			v &= x
-		}
-		if t == netlist.Nand {
-			v = ^v
-		}
-		return v
-	case netlist.Or, netlist.Nor:
-		v := ins[0]
-		for _, x := range ins[1:] {
-			v |= x
-		}
-		if t == netlist.Nor {
-			v = ^v
-		}
-		return v
-	case netlist.Xor, netlist.Xnor:
-		v := ins[0]
-		for _, x := range ins[1:] {
-			v ^= x
-		}
-		if t == netlist.Xnor {
-			v = ^v
-		}
-		return v
-	default: // Mux2
-		return ins[1]&^ins[0] | ins[2]&ins[0]
-	}
-}
+func (s *Simulator) Detects(f Fault) uint64 { return s.detects(f)[0] }
 
 // GoodResponse returns the fault-free 64-lane word at an observable net of
 // the currently loaded block.
-func (s *Simulator) GoodResponse(net netlist.Net) uint64 { return s.good[net] }
+func (s *Simulator) GoodResponse(net netlist.Net) uint64 { return s.good[net][0] }
 
 // FaultyWord returns the faulty-machine word at a net as of the most
 // recent Detects call; nets outside the evaluated cone equal the good
 // machine.
 func (s *Simulator) FaultyWord(net netlist.Net) uint64 {
-	for _, gi := range s.coneBuf {
-		if s.n.Gates[gi].Out == net {
-			return s.work[net]
-		}
-	}
-	return s.good[net]
+	// cur equals good outside the most recent cone, and the cone is only
+	// repaired at the next Detects or LoadBlock, so the faulty response is
+	// still readable here.
+	return s.cur[net][0]
 }

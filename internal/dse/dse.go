@@ -89,6 +89,12 @@ type Config struct {
 	// identical at any setting (see atpg.Config.Workers).
 	ATPGWorkers int
 
+	// LaneWidth selects the fault-simulation pattern-block width inside
+	// each gate-level ATPG run: 0 = auto by netlist size, or 64, 256,
+	// 512 lanes. Results are identical at any setting; wider blocks only
+	// change annotation wall time (see atpg.Config.LaneWidth).
+	LaneWidth int
+
 	// EventSink, when non-nil, receives the exploration's typed progress
 	// events (candidate/restored completions, isolated panics, degraded
 	// annotations, warnings, and a final "done") synchronously from the
@@ -174,6 +180,11 @@ func (c *Config) fillDefaults() error {
 	if c.ATPGWorkers < 0 {
 		return fmt.Errorf("dse: ATPGWorkers %d is negative (use 0 to split the core budget automatically)", c.ATPGWorkers)
 	}
+	switch c.LaneWidth {
+	case 0, 64, 256, 512:
+	default:
+		return fmt.Errorf("dse: LaneWidth %d is invalid (use 0 for auto, or 64, 256, 512)", c.LaneWidth)
+	}
 	if c.Width == 0 {
 		c.Width = 16
 	}
@@ -220,6 +231,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Annotator.ATPGWorkers == 0 {
 		c.Annotator.ATPGWorkers = c.atpgWorkerBudget()
+	}
+	if c.Annotator.LaneWidth == 0 && c.LaneWidth != 0 {
+		c.Annotator.LaneWidth = c.LaneWidth
 	}
 	if c.Annotator.Inject == nil && c.Inject != nil {
 		c.Annotator.Inject = c.Inject

@@ -54,6 +54,7 @@ func FromSpec(spec jobspec.Spec) (Config, SelectionSpec, error) {
 	}
 	cfg.Parallelism = spec.Parallelism
 	cfg.ATPGWorkers = spec.ATPGWorkers
+	cfg.LaneWidth = spec.LaneWidth
 	cfg.VerifySelected = spec.VerifySelected
 	if spec.Search != nil {
 		cfg.Search = &SearchSpec{

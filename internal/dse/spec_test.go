@@ -45,6 +45,7 @@ func TestFromSpecOverridesAndNormalizes(t *testing.T) {
 		DegradedPolicy: "exclude",
 		Parallelism:    3,
 		ATPGWorkers:    1,
+		LaneWidth:      512,
 	}
 	cfg, sel, err := FromSpec(spec)
 	if err != nil {
@@ -68,6 +69,9 @@ func TestFromSpecOverridesAndNormalizes(t *testing.T) {
 	}
 	if cfg.Parallelism != 3 || cfg.ATPGWorkers != 1 {
 		t.Errorf("parallelism %d/%d", cfg.Parallelism, cfg.ATPGWorkers)
+	}
+	if cfg.LaneWidth != 512 {
+		t.Errorf("lane width %d, want 512", cfg.LaneWidth)
 	}
 	want := SelectionSpec{Norm: "chebyshev", WA: 2, DegradedPolicy: "exclude"}
 	if sel != want {

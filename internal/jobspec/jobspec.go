@@ -118,6 +118,12 @@ type Spec struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	ATPGWorkers int `json:"atpg_workers,omitempty"`
 
+	// LaneWidth selects the fault-simulation pattern-block width inside
+	// each gate-level ATPG run: 0 = auto by netlist size, or 64, 256,
+	// 512 lanes. Results are identical at any setting; wider blocks only
+	// change annotation wall time.
+	LaneWidth int `json:"lane_width,omitempty"`
+
 	// VerifySelected re-derives and simulates the selected candidate's
 	// schedule after the exploration.
 	VerifySelected bool `json:"verify_selected,omitempty"`
@@ -177,6 +183,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.ATPGWorkers < 0 {
 		return fmt.Errorf("jobspec: atpg_workers %d is negative (use 0 for the automatic core-budget split)", s.ATPGWorkers)
+	}
+	switch s.LaneWidth {
+	case 0, 64, 256, 512:
+	default:
+		return fmt.Errorf("jobspec: lane_width %d is invalid (use 0 for auto, or 64, 256, 512)", s.LaneWidth)
 	}
 	for _, l := range []struct {
 		name string

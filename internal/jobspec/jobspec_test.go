@@ -32,6 +32,8 @@ func TestValidateRejects(t *testing.T) {
 		{"atpg-deadline", Spec{ATPGDeadline: -1}, "atpg_deadline"},
 		{"parallelism", Spec{Parallelism: -1}, "parallelism"},
 		{"atpg-workers", Spec{ATPGWorkers: -1}, "atpg_workers"},
+		{"lane-width-negative", Spec{LaneWidth: -64}, "lane_width"},
+		{"lane-width-odd", Spec{LaneWidth: 128}, "lane_width"},
 		{"buses", Spec{Buses: []int{1, 0}}, "buses"},
 		{"alus", Spec{ALUs: []int{-3}}, "alus"},
 		{"cmps", Spec{CMPs: []int{2, 0}}, "cmps"},
@@ -73,6 +75,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		ATPGDeadline:    Duration(250 * time.Millisecond),
 		Parallelism:     4,
 		ATPGWorkers:     2,
+		LaneWidth:       256,
 		VerifySelected:  true,
 		Search:          &SearchSpec{Population: 128, Generations: 10, Eta: 4, Seed: 42},
 	}

@@ -76,15 +76,16 @@ func (s *State) FFWord(i int) uint64 { return s.ffQ[i] }
 
 // Eval propagates the current primary-input words and latched flip-flop
 // state through the combinational logic. It does not clock the flip-flops.
+// Gate evaluation walks the cached structure-of-arrays view (Flat) in
+// level-major order — contiguous type/pin/out arrays instead of Gate
+// pointers — which is a valid topological order, so results are identical
+// to the original gate-list walk.
 func (s *State) Eval() {
 	n := s.n
 	for i, ff := range n.FFs {
 		s.words[ff.Q] = s.ffQ[i]
 	}
-	for _, gi := range n.order {
-		g := &n.Gates[gi]
-		s.words[g.Out] = evalGate(g, s.words)
-	}
+	n.Flat().Eval64(s.words)
 }
 
 // Step clocks every flip-flop: Q <- D using the most recent Eval results.
@@ -124,51 +125,6 @@ func (s *State) BusValue(nets []Net, lane int) uint64 {
 		}
 	}
 	return v
-}
-
-func evalGate(g *Gate, w []uint64) uint64 {
-	switch g.Type {
-	case Const0:
-		return 0
-	case Const1:
-		return ^uint64(0)
-	case Buf:
-		return w[g.In[0]]
-	case Not:
-		return ^w[g.In[0]]
-	case And, Nand:
-		v := w[g.In[0]]
-		for _, in := range g.In[1:] {
-			v &= w[in]
-		}
-		if g.Type == Nand {
-			v = ^v
-		}
-		return v
-	case Or, Nor:
-		v := w[g.In[0]]
-		for _, in := range g.In[1:] {
-			v |= w[in]
-		}
-		if g.Type == Nor {
-			v = ^v
-		}
-		return v
-	case Xor, Xnor:
-		v := w[g.In[0]]
-		for _, in := range g.In[1:] {
-			v ^= w[in]
-		}
-		if g.Type == Xnor {
-			v = ^v
-		}
-		return v
-	case Mux2:
-		sel, a0, a1 := w[g.In[0]], w[g.In[1]], w[g.In[2]]
-		return a0&^sel | a1&sel
-	default:
-		panic(fmt.Sprintf("netlist: unknown gate type %d", g.Type))
-	}
 }
 
 // EvalFunc evaluates the netlist as a pure combinational function: inputs

@@ -1,0 +1,184 @@
+package netlist
+
+// Flat is a structure-of-arrays, level-major view of a netlist: gate
+// attributes live in contiguous parallel arrays ordered by logic level
+// (ties broken by gate index), so levelized evaluation and cone walks
+// stream linear memory instead of chasing Gate pointers. The fanout
+// relation is stored in CSR form with per-net load lists in the same
+// (gate-ascending, pin-ascending) order FanoutTable produces, so
+// consumers that switch representation keep their iteration order —
+// and therefore their outputs — bit for bit.
+//
+// A Flat is immutable after construction and safe for concurrent use by
+// any number of readers; Netlist.Flat builds it once per netlist and
+// shares the result.
+type Flat struct {
+	// Per-slot gate attributes, slot order = (level, gate index).
+	Type     []GateType
+	Out      []Net
+	PinStart []int32 // len(slots)+1; inputs of slot s are Pins[PinStart[s]:PinStart[s+1]]
+	Pins     []Net
+
+	Order  []int32 // slot -> gate index
+	SlotOf []int32 // gate index -> slot
+
+	// LevelStart[l] .. LevelStart[l+1] are the slots of logic level l;
+	// len(LevelStart) == NumLevels+1. GateLevel is indexed by gate.
+	LevelStart []int32
+	GateLevel  []int32
+	NumLevels  int
+
+	// CSR fanout over gate input pins: the gates reading net x are
+	// FanGate[FanStart[x]:FanStart[x+1]] with pin positions FanPin.
+	// Flip-flop D pins and primary outputs are not included (same
+	// contract as FanoutTable).
+	FanStart []int32
+	FanGate  []int32
+	FanPin   []int8
+
+	// GateDriver[x] is the gate driving net x, or -1 when the net is a
+	// primary input or flip-flop Q output.
+	GateDriver []int32
+
+	MaxFanIn int
+}
+
+// Flat returns the cached structure-of-arrays view, building it on first
+// use. The result is shared: callers must treat every field as read-only.
+func (n *Netlist) Flat() *Flat {
+	n.flatOnce.Do(func() { n.flat = buildFlat(n) })
+	return n.flat
+}
+
+func buildFlat(n *Netlist) *Flat {
+	nGates := len(n.Gates)
+	f := &Flat{
+		Type:      make([]GateType, nGates),
+		Out:       make([]Net, nGates),
+		PinStart:  make([]int32, nGates+1),
+		Order:     make([]int32, nGates),
+		SlotOf:    make([]int32, nGates),
+		GateLevel: make([]int32, nGates),
+		NumLevels: int(n.maxLevel) + 1,
+	}
+	copy(f.GateLevel, n.level)
+
+	// Counting sort by level keeps gate-index order inside each level, so
+	// the slot order is a deterministic function of the netlist alone.
+	f.LevelStart = make([]int32, f.NumLevels+1)
+	for _, lv := range f.GateLevel {
+		f.LevelStart[lv+1]++
+	}
+	for l := 0; l < f.NumLevels; l++ {
+		f.LevelStart[l+1] += f.LevelStart[l]
+	}
+	cursor := append([]int32(nil), f.LevelStart[:f.NumLevels]...)
+	totalPins := 0
+	for gi := range n.Gates {
+		lv := f.GateLevel[gi]
+		slot := cursor[lv]
+		cursor[lv]++
+		f.Order[slot] = int32(gi)
+		f.SlotOf[gi] = slot
+		totalPins += len(n.Gates[gi].In)
+	}
+	f.Pins = make([]Net, 0, totalPins)
+	for s, gi := range f.Order {
+		g := &n.Gates[gi]
+		f.Type[s] = g.Type
+		f.Out[s] = g.Out
+		f.Pins = append(f.Pins, g.In...)
+		f.PinStart[s+1] = int32(len(f.Pins))
+		if len(g.In) > f.MaxFanIn {
+			f.MaxFanIn = len(g.In)
+		}
+	}
+
+	// CSR fanout, filled gate-ascending / pin-ascending — byte-compatible
+	// with the per-net order of FanoutTable.
+	f.FanStart = make([]int32, n.numNets+1)
+	for gi := range n.Gates {
+		for _, in := range n.Gates[gi].In {
+			f.FanStart[in+1]++
+		}
+	}
+	for x := 0; x < n.numNets; x++ {
+		f.FanStart[x+1] += f.FanStart[x]
+	}
+	f.FanGate = make([]int32, totalPins)
+	f.FanPin = make([]int8, totalPins)
+	fanCursor := append([]int32(nil), f.FanStart[:n.numNets]...)
+	for gi := range n.Gates {
+		for pin, in := range n.Gates[gi].In {
+			at := fanCursor[in]
+			fanCursor[in]++
+			f.FanGate[at] = int32(gi)
+			f.FanPin[at] = int8(pin)
+		}
+	}
+
+	f.GateDriver = make([]int32, n.numNets)
+	for x := range f.GateDriver {
+		f.GateDriver[x] = -1
+		if d := n.drivers[x]; d.Kind == DriverGate {
+			f.GateDriver[x] = d.Index
+		}
+	}
+	return f
+}
+
+// Fanouts returns the CSR index range of the loads on net x; iterate
+// FanGate[lo:hi] (and FanPin[lo:hi] for pin positions).
+func (f *Flat) Fanouts(x Net) (lo, hi int32) {
+	return f.FanStart[x], f.FanStart[x+1]
+}
+
+// Eval64 evaluates every gate over 64-lane words in slot (level-major)
+// order — a valid topological order, so the result is identical to a
+// gate-pointer walk of TopoOrder. w is indexed by net and must already
+// hold the controllable-point values.
+func (f *Flat) Eval64(w []uint64) {
+	pins := f.Pins
+	for s, t := range f.Type {
+		lo, hi := f.PinStart[s], f.PinStart[s+1]
+		var v uint64
+		switch t {
+		case Const0:
+			v = 0
+		case Const1:
+			v = ^uint64(0)
+		case Buf:
+			v = w[pins[lo]]
+		case Not:
+			v = ^w[pins[lo]]
+		case And, Nand:
+			v = w[pins[lo]]
+			for i := lo + 1; i < hi; i++ {
+				v &= w[pins[i]]
+			}
+			if t == Nand {
+				v = ^v
+			}
+		case Or, Nor:
+			v = w[pins[lo]]
+			for i := lo + 1; i < hi; i++ {
+				v |= w[pins[i]]
+			}
+			if t == Nor {
+				v = ^v
+			}
+		case Xor, Xnor:
+			v = w[pins[lo]]
+			for i := lo + 1; i < hi; i++ {
+				v ^= w[pins[i]]
+			}
+			if t == Xnor {
+				v = ^v
+			}
+		default: // Mux2
+			sel, a0, a1 := w[pins[lo]], w[pins[lo+1]], w[pins[lo+2]]
+			v = a0&^sel | a1&sel
+		}
+		w[f.Out[s]] = v
+	}
+}

@@ -1,0 +1,233 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildRandomFlat builds a random reconvergent DAG for the Flat tests.
+func buildRandomFlat(t *testing.T, seed int64, gates int) *Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("flatrand")
+	nets := b.InputBus("in", 7)
+	for i := 0; i < gates; i++ {
+		a := nets[rng.Intn(len(nets))]
+		x := nets[rng.Intn(len(nets))]
+		var o Net
+		switch rng.Intn(7) {
+		case 0:
+			o = b.And(a, x)
+		case 1:
+			o = b.Or(a, x)
+		case 2:
+			o = b.Xor(a, x)
+		case 3:
+			o = b.Nand(a, x)
+		case 4:
+			o = b.Nor(a, x)
+		case 5:
+			o = b.Not(a)
+		default:
+			o = b.Mux(a, x, nets[rng.Intn(len(nets))])
+		}
+		nets = append(nets, o)
+	}
+	for i := 0; i < 4; i++ {
+		b.Output(fmt.Sprintf("o%d", i), nets[len(nets)-1-i*5])
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFlatInvariants(t *testing.T) {
+	n := buildRandomFlat(t, 11, 160)
+	f := n.Flat()
+
+	// Order is a permutation with SlotOf as its inverse.
+	seen := make([]bool, len(n.Gates))
+	for s, gi := range f.Order {
+		if seen[gi] {
+			t.Fatalf("gate %d appears twice in Order", gi)
+		}
+		seen[gi] = true
+		if f.SlotOf[gi] != int32(s) {
+			t.Fatalf("SlotOf[%d] = %d, want %d", gi, f.SlotOf[gi], s)
+		}
+	}
+
+	// Slot order is level-major with gate-index ties, matching LevelStart.
+	for s := 1; s < len(f.Order); s++ {
+		la, lb := f.GateLevel[f.Order[s-1]], f.GateLevel[f.Order[s]]
+		if la > lb {
+			t.Fatalf("slot %d level %d precedes level %d", s, la, lb)
+		}
+		if la == lb && f.Order[s-1] >= f.Order[s] {
+			t.Fatalf("slots %d,%d break gate-index tie order", s-1, s)
+		}
+	}
+	for l := 0; l < f.NumLevels; l++ {
+		for s := f.LevelStart[l]; s < f.LevelStart[l+1]; s++ {
+			if f.GateLevel[f.Order[s]] != int32(l) {
+				t.Fatalf("LevelStart bucket %d holds slot of level %d", l, f.GateLevel[f.Order[s]])
+			}
+		}
+	}
+
+	// Per-slot attributes mirror the Gate structs; fanout edges climb
+	// strictly in level (the property the event-driven drain relies on).
+	for s, gi := range f.Order {
+		g := &n.Gates[gi]
+		if f.Type[s] != g.Type || f.Out[s] != g.Out {
+			t.Fatalf("slot %d attributes diverge from gate %d", s, gi)
+		}
+		pins := f.Pins[f.PinStart[s]:f.PinStart[s+1]]
+		if len(pins) != len(g.In) {
+			t.Fatalf("slot %d pin count %d, want %d", s, len(pins), len(g.In))
+		}
+		for i := range pins {
+			if pins[i] != g.In[i] {
+				t.Fatalf("slot %d pin %d diverges", s, i)
+			}
+		}
+		lo, hi := f.Fanouts(g.Out)
+		for i := lo; i < hi; i++ {
+			if f.GateLevel[f.FanGate[i]] <= f.GateLevel[gi] {
+				t.Fatalf("fanout edge %d->%d does not climb levels", gi, f.FanGate[i])
+			}
+		}
+	}
+
+	// CSR fanout matches FanoutTable per net, in order.
+	fan := n.FanoutTable()
+	for x := 0; x < n.NumNets(); x++ {
+		lo, hi := f.Fanouts(Net(x))
+		if int(hi-lo) != len(fan[x]) {
+			t.Fatalf("net %d fanout count %d, want %d", x, hi-lo, len(fan[x]))
+		}
+		for i := lo; i < hi; i++ {
+			ld := fan[x][i-lo]
+			if f.FanGate[i] != ld.Gate || f.FanPin[i] != ld.Pin {
+				t.Fatalf("net %d load %d: (%d,%d) vs FanoutTable (%d,%d)",
+					x, i-lo, f.FanGate[i], f.FanPin[i], ld.Gate, ld.Pin)
+			}
+		}
+	}
+
+	// GateDriver agrees with Driver.
+	for x := 0; x < n.NumNets(); x++ {
+		d := n.Driver(Net(x))
+		want := int32(-1)
+		if d.Kind == DriverGate {
+			want = d.Index
+		}
+		if f.GateDriver[x] != want {
+			t.Fatalf("GateDriver[%d] = %d, want %d", x, f.GateDriver[x], want)
+		}
+	}
+}
+
+// TestFlatEval64MatchesGateWalk A/Bs the SoA evaluation against an
+// independent per-gate TopoOrder walk over the Gate structs.
+func TestFlatEval64MatchesGateWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		n := buildRandomFlat(t, int64(20+trial), 140)
+		f := n.Flat()
+		w := make([]uint64, n.NumNets())
+		ref := make([]uint64, n.NumNets())
+		for _, x := range n.PIs {
+			v := rng.Uint64()
+			w[x] = v
+			ref[x] = v
+		}
+		f.Eval64(w)
+		for _, gi := range n.TopoOrder() {
+			g := &n.Gates[gi]
+			var v uint64
+			switch g.Type {
+			case Const0:
+			case Const1:
+				v = ^uint64(0)
+			case Buf:
+				v = ref[g.In[0]]
+			case Not:
+				v = ^ref[g.In[0]]
+			case And, Nand:
+				v = ^uint64(0)
+				for _, in := range g.In {
+					v &= ref[in]
+				}
+				if g.Type == Nand {
+					v = ^v
+				}
+			case Or, Nor:
+				for _, in := range g.In {
+					v |= ref[in]
+				}
+				if g.Type == Nor {
+					v = ^v
+				}
+			case Xor, Xnor:
+				for _, in := range g.In {
+					v ^= ref[in]
+				}
+				if g.Type == Xnor {
+					v = ^v
+				}
+			case Mux2:
+				sel, a0, a1 := ref[g.In[0]], ref[g.In[1]], ref[g.In[2]]
+				v = a0&^sel | a1&sel
+			}
+			ref[g.Out] = v
+		}
+		for x := 0; x < n.NumNets(); x++ {
+			if w[x] != ref[x] {
+				t.Fatalf("trial %d net %d: Eval64 %#x, reference %#x", trial, x, w[x], ref[x])
+			}
+		}
+	}
+}
+
+// TestFlatConcurrentAccess hammers the lazy constructor and the shared
+// read-only view from many goroutines; its value is under -race. Every
+// caller must observe the same instance.
+func TestFlatConcurrentAccess(t *testing.T) {
+	n := buildRandomFlat(t, 33, 200)
+	var wg sync.WaitGroup
+	flats := make([]*Flat, 16)
+	for i := range flats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := n.Flat()
+			flats[i] = f
+			w := make([]uint64, n.NumNets())
+			for _, x := range n.PIs {
+				w[x] = uint64(i) * 0x9e3779b97f4a7c15
+			}
+			f.Eval64(w)
+			st := NewState(n)
+			for _, x := range n.PIs {
+				st.SetInput(x, uint64(i)*0x9e3779b97f4a7c15)
+			}
+			st.Eval()
+			for _, po := range n.POs {
+				if st.Word(po) != w[po] {
+					t.Errorf("goroutine %d: State.Eval and Eval64 disagree on net %d", i, po)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(flats); i++ {
+		if flats[i] != flats[0] {
+			t.Fatal("Flat() returned distinct instances")
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // GateType enumerates the supported gate primitives.
@@ -129,6 +130,9 @@ type Netlist struct {
 	level    []int32 // per-gate topological level (source level 0)
 	order    []int32 // gate indices in topological order
 	maxLevel int32
+
+	flatOnce sync.Once
+	flat     *Flat // cached structure-of-arrays view (see Flat)
 }
 
 // NumNets returns the total number of nets.

@@ -57,6 +57,18 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// SetRatio stores num/den, or 0 when den is zero. No-op on a nil gauge.
+func (g *Gauge) SetRatio(num, den int64) {
+	if g == nil {
+		return
+	}
+	if den == 0 {
+		g.Set(0)
+		return
+	}
+	g.Set(float64(num) / float64(den))
+}
+
 // Value returns the stored value (0 for a nil gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {
