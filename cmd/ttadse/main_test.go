@@ -1,9 +1,162 @@
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
+
+// TestMain doubles as the CLI under test: re-execing this test binary
+// with TTADSE_RUN_MAIN=1 runs the real main() over the re-exec's argv,
+// so the shard/merge tests drive ttadse as separate OS processes
+// without building the command.
+func TestMain(m *testing.M) {
+	if os.Getenv("TTADSE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI execs one ttadse invocation, returning stdout, stderr and the
+// exit code.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "TTADSE_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	var ee *exec.ExitError
+	switch {
+	case err == nil:
+	case errors.As(err, &ee):
+		code = ee.ExitCode()
+	default:
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestShardMergeCLIByteIdentical is the CLI half of the determinism
+// contract: N worker invocations plus one -merge must print exactly the
+// unsharded run's bytes, at every shard count and with the worker count
+// varying per process (-atpg-workers 1 vs 8 — results are identical at
+// any setting, so shards may disagree on it), with the per-shard
+// annotation caches unioned back into the base file.
+func TestShardMergeCLIByteIdentical(t *testing.T) {
+	base := []string{"-buses", "1", "-alus", "1", "-cmps", "1"}
+	ref, errText, code := runCLI(t, base...)
+	if code != 0 {
+		t.Fatalf("unsharded run exited %d: %s", code, errText)
+	}
+	want := sha256.Sum256([]byte(ref))
+
+	for _, n := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			cache := filepath.Join(dir, "anno.cache")
+			var paths []string
+			for i := 0; i < n; i++ {
+				ckpt := filepath.Join(dir, fmt.Sprintf("s%dof%d.ckpt", i, n))
+				paths = append(paths, ckpt)
+				workers := "1"
+				if i%2 == 0 {
+					workers = "8"
+				}
+				args := append(append([]string(nil), base...),
+					"-shards", strconv.Itoa(n), "-shard-index", strconv.Itoa(i),
+					"-checkpoint", ckpt, "-cache", cache, "-atpg-workers", workers)
+				if _, errText, code := runCLI(t, args...); code != 0 {
+					t.Fatalf("shard %d/%d exited %d: %s", i, n, code, errText)
+				}
+				shardCache := fmt.Sprintf("%s.shard%dof%d", cache, i, n)
+				if _, err := os.Stat(shardCache); err != nil {
+					t.Fatalf("worker %d wrote no per-shard cache: %v", i, err)
+				}
+			}
+			out, errText, code := runCLI(t, append(append([]string(nil), base...),
+				"-merge", strings.Join(paths, ","), "-cache", cache, "-atpg-workers", "8")...)
+			if code != 0 {
+				t.Fatalf("merge exited %d: %s", code, errText)
+			}
+			if got := sha256.Sum256([]byte(out)); got != want {
+				t.Fatalf("%d-shard merged report differs from the unsharded run", n)
+			}
+			if _, err := os.Stat(cache); err != nil {
+				t.Fatalf("merge left no base cache: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardWorkerResumeAfterKill kills worker 0 mid-flight (via an
+// immediate -timeout), checks the merge refuses the incomplete fan-out,
+// resumes the worker, and checks the merged bytes still match the
+// unsharded run exactly.
+func TestShardWorkerResumeAfterKill(t *testing.T) {
+	base := []string{"-buses", "1", "-alus", "1", "-cmps", "1"}
+	ref, errText, code := runCLI(t, base...)
+	if code != 0 {
+		t.Fatalf("unsharded run exited %d: %s", code, errText)
+	}
+	dir := t.TempDir()
+	ckpt0 := filepath.Join(dir, "s0of2.ckpt")
+	ckpt1 := filepath.Join(dir, "s1of2.ckpt")
+	worker := func(index int, ckpt string, extra ...string) (string, int) {
+		args := append(append([]string(nil), base...),
+			"-shards", "2", "-shard-index", strconv.Itoa(index), "-checkpoint", ckpt)
+		_, errText, code := runCLI(t, append(args, extra...)...)
+		return errText, code
+	}
+	if errText, code := worker(1, ckpt1); code != 0 {
+		t.Fatalf("shard 1 exited %d: %s", code, errText)
+	}
+	if errText, code := worker(0, ckpt0, "-timeout", "1ns"); code != 2 {
+		t.Fatalf("killed shard 0 exited %d, want 2 (timeout): %s", code, errText)
+	}
+	mergeArgs := append(append([]string(nil), base...), "-merge", ckpt0+","+ckpt1)
+	if _, errText, code := runCLI(t, mergeArgs...); code == 0 {
+		t.Fatalf("merge accepted an incomplete fan-out: %s", errText)
+	}
+	if errText, code := worker(0, ckpt0); code != 0 {
+		t.Fatalf("resumed shard 0 exited %d: %s", code, errText)
+	}
+	out, errText, code := runCLI(t, mergeArgs...)
+	if code != 0 {
+		t.Fatalf("merge after resume exited %d: %s", code, errText)
+	}
+	if out != ref {
+		t.Fatal("merged report after kill + resume differs from the unsharded run")
+	}
+}
+
+// TestShardFlagValidation pins the CLI-boundary rejections.
+func TestShardFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-shards", "2"},                                          // no -checkpoint
+		{"-shards", "2", "-shard-index", "2", "-checkpoint", "x"}, // index out of range
+		{"-shards", "2", "-checkpoint", "x", "-merge", "a"},       // worker and merge at once
+		{"-merge", "a.ckpt", "-checkpoint", "x"},                  // merge ignores -checkpoint
+		{"-lane-width", "128"},                                    // invalid lane width
+	}
+	for _, args := range cases {
+		if _, errText, code := runCLI(t, args...); code == 0 {
+			t.Fatalf("ttadse %v succeeded, want a flag error (%s)", args, errText)
+		}
+	}
+}
 
 func TestParseIntList(t *testing.T) {
 	got, err := parseIntList("buses", "1, 2,4")

@@ -39,6 +39,12 @@ import (
 )
 
 func main() {
+	// A sharded job's worker processes are this same binary: the
+	// coordinator (internal/service) execs "ttadsed -shard-worker
+	// <flags>", dispatched here before the daemon's own flag parsing.
+	if len(os.Args) > 1 && os.Args[1] == "-shard-worker" {
+		os.Exit(service.ShardWorkerMain(os.Args[2:]))
+	}
 	log.SetFlags(0)
 	log.SetPrefix("ttadsed: ")
 	addr := flag.String("addr", ":8080", "listen address")

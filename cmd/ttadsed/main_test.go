@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles as the daemon binary: re-execing this test binary
+// with TTADSED_RUN_MAIN=1 runs the real main() over the re-exec's argv.
+func TestMain(m *testing.M) {
+	if os.Getenv("TTADSED_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestShardWorkerDispatch checks "ttadsed -shard-worker" lands in the
+// worker entry point before daemon flag parsing: with no -spec it must
+// exit 1 with the worker's usage error, not try to listen on a socket.
+func TestShardWorkerDispatch(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-shard-worker")
+	cmd.Env = append(os.Environ(), "TTADSED_RUN_MAIN=1")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	runErr := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(runErr, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("ttadsed -shard-worker without -spec: %v, want exit 1", runErr)
+	}
+	if !strings.Contains(errb.String(), "-spec") {
+		t.Fatalf("worker error does not name the missing flag: %q", errb.String())
+	}
+}

@@ -233,12 +233,12 @@ func (b budget) expired() bool { return !b.at.IsZero() && time.Now().After(b.at)
 // Config.Deadline.
 func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	lanes, err := resolveLaneWidth(cfg.LaneWidth, n)
+	u := NewUniverse(n)
+	lanes, err := resolveLaneWidth(cfg.LaneWidth, n, u)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	u := NewUniverse(n)
 	topo := newSimTopo(n)
 	ws := newFaultSimFromTopo(topo, lanes)
 	res := &Result{Netlist: n, TotalFaults: len(u.Faults)}
@@ -278,26 +278,52 @@ func RunContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Result, e
 	return res, nil
 }
 
+// LaneWidthError reports a Config.LaneWidth outside the supported set.
+// It is a typed error so spec boundaries (CLI flags, jobspec) can reject
+// the value up front instead of falling through to the scalar path.
+type LaneWidthError struct{ Width int }
+
+func (e *LaneWidthError) Error() string {
+	return fmt.Sprintf("atpg: invalid lane width %d (want 0 for auto, or 64, 256, 512)", e.Width)
+}
+
 // resolveLaneWidth validates Config.LaneWidth and resolves the automatic
-// default: wider blocks for bigger netlists, where the fixed per-Detects
-// and per-gate costs dominate and amortizing them over more lanes pays;
-// small circuits rarely fill wide blocks, so they stay at 64. Every width
+// default. Wide blocks only pay when fault simulation dominates the run:
+// the fixed per-Detects and per-gate costs amortize over more lanes. On
+// PODEM-bound classes (deep, sparse netlists like cmp16: many levels,
+// few faults per level) the run spends its time in the single-pattern
+// engine and wide blocks just add per-block overhead — BENCH_faultsim.json
+// recorded cmp16 at 0.93x/0.82x under the old size-only rule. So auto is
+// class-aware: it needs BOTH a large netlist and a high fault density per
+// topological level (the measurable proxy for the fault-to-pattern ratio;
+// dense shallow fabrics like register files converge in few patterns per
+// fault-heavy level and are exactly the wide-sim winners). Every width
 // produces identical output, so the heuristic only steers throughput.
-func resolveLaneWidth(w int, n *netlist.Netlist) (int, error) {
+func resolveLaneWidth(w int, n *netlist.Netlist, u *Universe) (int, error) {
 	switch w {
 	case 64, 256, 512:
 		return w, nil
 	case 0:
+		levels := 0
+		for _, l := range n.Flat().GateLevel {
+			if int(l)+1 > levels {
+				levels = int(l) + 1
+			}
+		}
+		if levels < 1 {
+			return 64, nil
+		}
+		density := float64(len(u.Faults)) / float64(levels)
 		switch {
-		case len(n.Gates) >= 2048:
+		case len(n.Gates) >= 2048 && density >= 400:
 			return 512, nil
-		case len(n.Gates) >= 512:
+		case len(n.Gates) >= 256 && density >= 400:
 			return 256, nil
 		default:
 			return 64, nil
 		}
 	default:
-		return 0, fmt.Errorf("atpg: invalid LaneWidth %d (want 0, 64, 256 or 512)", w)
+		return 0, &LaneWidthError{Width: w}
 	}
 }
 

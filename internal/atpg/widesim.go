@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"fmt"
 	"math/bits"
 
 	"repro/internal/netlist"
@@ -111,12 +112,17 @@ func newFaultSim(n *netlist.Netlist, lanes int) faultSim {
 
 func newFaultSimFromTopo(t *simTopo, lanes int) faultSim {
 	switch lanes {
+	case 64:
+		return newWideSim[[1]uint64](t)
 	case 256:
 		return newWideSim[[4]uint64](t)
 	case 512:
 		return newWideSim[[8]uint64](t)
 	default:
-		return newWideSim[[1]uint64](t)
+		// Widths are validated by resolveLaneWidth before any simulator is
+		// built; silently falling back to 64 lanes here would hide a missed
+		// validation path.
+		panic(fmt.Sprintf("atpg: unvalidated lane width %d", lanes))
 	}
 }
 

@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -208,22 +209,65 @@ func TestResolveLaneWidth(t *testing.T) {
 	}
 	small := buildSmall(t)
 	for _, lanes := range laneWidths {
-		got, err := resolveLaneWidth(lanes, small)
+		got, err := resolveLaneWidth(lanes, small, NewUniverse(small))
 		if err != nil || got != lanes {
 			t.Fatalf("resolveLaneWidth(%d) = %d, %v", lanes, got, err)
 		}
 	}
-	if _, err := resolveLaneWidth(128, small); err == nil {
+	if _, err := resolveLaneWidth(128, small, NewUniverse(small)); err == nil {
 		t.Fatal("LaneWidth 128 accepted; want error")
+	} else {
+		var lw *LaneWidthError
+		if !errors.As(err, &lw) || lw.Width != 128 {
+			t.Fatalf("LaneWidth 128 error = %v, want *LaneWidthError{128}", err)
+		}
 	}
-	if got, _ := resolveLaneWidth(0, small); got != 64 {
+	if got, _ := resolveLaneWidth(0, small, NewUniverse(small)); got != 64 {
 		t.Fatalf("auto width %d for a trivial netlist, want 64", got)
 	}
-	if got, _ := resolveLaneWidth(0, alu.Seq); got == 0 {
+	if got, _ := resolveLaneWidth(0, alu.Seq, NewUniverse(alu.Seq)); got == 0 {
 		t.Fatal("auto width unresolved for the ALU")
 	}
 	if _, err := RunContext(context.Background(), small, Config{Seed: 1, LaneWidth: 96}); err == nil {
 		t.Fatal("RunContext accepted LaneWidth 96")
+	}
+}
+
+// TestAutoLaneWidthClassAware pins the satellite fix: auto selection
+// must not pick a width slower than 64 lanes on PODEM-bound classes.
+// cmp16 is deep and sparse (64 lanes is fastest in BENCH_faultsim.json),
+// register files are shallow and fault-dense (the wide-sim winners).
+func TestAutoLaneWidthClassAware(t *testing.T) {
+	lib := gatelib.NewLibrary()
+	cases := []struct {
+		name  string
+		build func() (*gatelib.Component, error)
+		want  int
+	}{
+		{"cmp16", func() (*gatelib.Component, error) { return lib.CMP(16) }, 64},
+		{"alu16_cs", func() (*gatelib.Component, error) {
+			return lib.ALU(gatelib.ALUConfig{Width: 16, Adder: gatelib.AdderCarrySelect})
+		}, 64},
+		{"ldst16", func() (*gatelib.Component, error) { return lib.LDST(16) }, 64},
+		{"rf16x8_1w2r", func() (*gatelib.Component, error) {
+			return lib.RF(gatelib.RFConfig{Width: 16, NumRegs: 8, NumIn: 1, NumOut: 2})
+		}, 256},
+		{"rf16x16_2w2r", func() (*gatelib.Component, error) {
+			return lib.RF(gatelib.RFConfig{Width: 16, NumRegs: 16, NumIn: 2, NumOut: 2})
+		}, 256},
+	}
+	for _, tc := range cases {
+		comp, err := tc.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := resolveLaneWidth(0, comp.Seq, NewUniverse(comp.Seq))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: auto lane width %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }
 

@@ -38,7 +38,10 @@ const CheckpointFormatVersion = 1
 // completion).
 const checkpointFlushEvery = 16
 
-// checkpointFile is the serialized form.
+// checkpointFile is the serialized form. SpecHash and Shard were added
+// for process-sharded exploration without bumping the format version:
+// both are omitempty, so a pre-shard file decodes as an unsharded
+// checkpoint with an unknown spec, exactly what it is.
 type checkpointFile struct {
 	Version  int    `json:"version"`
 	Library  string `json:"library"`
@@ -46,7 +49,31 @@ type checkpointFile struct {
 	Seed     int64  `json:"seed"`
 	Workload string `json:"workload"`
 
+	// SpecHash is jobspec.Spec.Hash() of the job that wrote the file —
+	// the topology-independent result identity. Empty when the writer
+	// predates sharding or ran outside a spec (direct Config use).
+	SpecHash string `json:"spec_hash,omitempty"`
+
+	// Shard, when non-nil, marks the file as one shard's output and makes
+	// it a merge input: it holds exactly the evaluations for candidate
+	// indices [Lo, Hi) of a Total-candidate space split Shards ways.
+	Shard *checkpointShard `json:"shard,omitempty"`
+
 	Entries map[string]checkpointEntry `json:"entries"`
+}
+
+// checkpointShard is the shard header: which contiguous slice of the
+// deterministic candidate list this file covers.
+type checkpointShard struct {
+	Shards int `json:"shards"`
+	Index  int `json:"index"`
+	Lo     int `json:"lo"`
+	Hi     int `json:"hi"`
+	Total  int `json:"total"`
+}
+
+func (s checkpointShard) String() string {
+	return fmt.Sprintf("shard %d/%d [%d,%d) of %d", s.Index, s.Shards, s.Lo, s.Hi, s.Total)
 }
 
 // checkpointEntry is one completed candidate evaluation — every
@@ -136,8 +163,60 @@ type Checkpoint struct {
 	entries    map[string]checkpointEntry
 	sinceFlush int
 
+	// loadedShard is the shard header of the file that was resumed from
+	// (zero when fresh or unsharded); setShard cross-checks it against
+	// the range the run actually computes.
+	loadedShard checkpointShard
+
 	obs    *obs.Registry
 	inject *faultinject.Injector
+}
+
+// matchShardHeader rejects opening a shard checkpoint from an unsharded
+// run and vice versa, and any topology drift between the file and the
+// run. A fresh file (got == nil is only reached with data present) must
+// agree on Shards and Index; Lo/Hi/Total are validated later by setShard
+// once the candidate count is known.
+func matchShardHeader(want, got *checkpointShard) error {
+	describe := func(s *checkpointShard) string {
+		if s == nil {
+			return "unsharded"
+		}
+		return fmt.Sprintf("shard %d/%d", s.Index, s.Shards)
+	}
+	if (want == nil) != (got == nil) {
+		return &CheckpointMismatchError{Field: "shard topology", Want: describe(want), Got: describe(got)}
+	}
+	if want != nil && (want.Shards != got.Shards || want.Index != got.Index) {
+		return &CheckpointMismatchError{Field: "shard topology", Want: describe(want), Got: describe(got)}
+	}
+	return nil
+}
+
+// setShard stamps the computed candidate range onto the checkpoint
+// header before any restore or record. If the file this checkpoint was
+// resumed from recorded a different range (the candidate space changed
+// under the same weak workload signature), the loaded entries are
+// dropped — resuming them could silently restore evaluations from
+// outside this shard's slice.
+func (ck *Checkpoint) setShard(s checkpointShard) {
+	if ck == nil {
+		return
+	}
+	ck.mu.Lock()
+	ck.header.Shard = &s
+	stale := len(ck.entries) > 0 && ck.loadedShard.Total != 0 && ck.loadedShard != s
+	if stale {
+		ck.entries = make(map[string]checkpointEntry)
+	}
+	reg := ck.obs
+	loaded := ck.loadedShard
+	ck.mu.Unlock()
+	if stale {
+		reg.Counter("dse.checkpoint.shard_range_drops").Inc()
+		reg.Emit(obs.Event{Kind: "warning", Msg: fmt.Sprintf(
+			"checkpoint range changed (%s, run wants %s); dropping restored entries", loaded, s)})
+	}
 }
 
 // workloadSignature is the weak identity a checkpoint binds to: enough
@@ -169,10 +248,16 @@ func OpenCheckpoint(path string, cfg Config) (*Checkpoint, error) {
 			Width:    cfg.Width,
 			Seed:     cfg.Seed,
 			Workload: workloadSignature(&cfg),
+			SpecHash: cfg.SpecHash,
 		},
 		entries: make(map[string]checkpointEntry),
 		obs:     cfg.Obs,
 		inject:  cfg.Inject,
+	}
+	if cfg.Shard != nil {
+		// Lo/Hi/Total are unknown until the candidate list exists;
+		// ExploreContext fills them in via setShard.
+		ck.header.Shard = &checkpointShard{Shards: cfg.Shard.Count, Index: cfg.Shard.Index}
 	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -195,6 +280,18 @@ func OpenCheckpoint(path string, cfg Config) (*Checkpoint, error) {
 		if m.want != m.got {
 			return ck, &CheckpointMismatchError{Field: m.field, Want: m.want, Got: m.got}
 		}
+	}
+	// Spec hashes bind only when both sides carry one: files written by
+	// pre-shard builds (or direct Config runs) have no hash and stay
+	// loadable, guarded by the weaker header fields above.
+	if ck.header.SpecHash != "" && f.SpecHash != "" && ck.header.SpecHash != f.SpecHash {
+		return ck, &CheckpointMismatchError{Field: "spec hash", Want: ck.header.SpecHash, Got: f.SpecHash}
+	}
+	if err := matchShardHeader(ck.header.Shard, f.Shard); err != nil {
+		return ck, err
+	}
+	if f.Shard != nil {
+		ck.loadedShard = *f.Shard
 	}
 	for k, e := range f.Entries {
 		if err := validCheckpointEntry(e); err != nil {

@@ -141,6 +141,23 @@ type Config struct {
 	// checkpoints, fronts and selection behave exactly as in sweep mode,
 	// over the survivor list. The enumeration fields above are ignored.
 	Search *SearchSpec
+
+	// Shard, when non-nil, makes this run one worker of a process-sharded
+	// exploration: the full candidate list is still produced (it is a
+	// pure function of the config, so every shard derives the same list
+	// with the same global indices), but only the contiguous slice
+	// shardBounds assigns to Shard.Index is evaluated. The run's product
+	// is its checkpoint file — Checkpoint is required — stamped with the
+	// shard header; fronts and selection are left to the merge
+	// (MergeExploreContext), which is the only way to see the whole
+	// picture. Events keep global candidate indices and the global total.
+	Shard *ShardRange
+
+	// SpecHash, when non-empty, is the jobspec.Spec.Hash() result
+	// identity stamped into checkpoint files, binding a shard checkpoint
+	// to its job across resumes and merges. Empty skips the check
+	// (direct Config users have no spec).
+	SpecHash string
 }
 
 // DefaultConfig returns the exploration used for the paper's figures: the
@@ -184,6 +201,14 @@ func (c *Config) fillDefaults() error {
 	case 0, 64, 256, 512:
 	default:
 		return fmt.Errorf("dse: LaneWidth %d is invalid (use 0 for auto, or 64, 256, 512)", c.LaneWidth)
+	}
+	if c.Shard != nil {
+		if c.Shard.Count < 1 {
+			return fmt.Errorf("dse: shard count %d (want >= 1)", c.Shard.Count)
+		}
+		if c.Shard.Index < 0 || c.Shard.Index >= c.Shard.Count {
+			return fmt.Errorf("dse: shard index %d out of range [0,%d)", c.Shard.Index, c.Shard.Count)
+		}
 	}
 	if c.Width == 0 {
 		c.Width = 16
@@ -360,48 +385,43 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	defer root.End()
 	res := &Result{Config: cfg, Selected: -1}
 
-	// Produce the candidate list — exhaustive enumeration by default, the
-	// guided GA screen when Search is set — then evaluate concurrently
-	// (the result slice is indexed, so ordering is deterministic).
-	var archs []*tta.Architecture
-	if cfg.Search != nil {
-		spec := *cfg.Search
-		if err := spec.fillDefaults(cfg.Seed); err != nil {
-			cfg.Obs.Gauge("dse.worker.utilization").Set(0)
-			return nil, err
-		}
-		searchSp := root.Child("search")
-		var serr error
-		archs, serr = searchCandidates(ctx, &cfg, searchSp, spec)
-		searchSp.End()
-		if serr != nil {
-			cfg.Obs.Gauge("dse.worker.utilization").Set(0)
-			return nil, serr
-		}
-	} else {
-		enumSp := root.Child("enumerate")
-		id := 0
-		for _, buses := range cfg.Buses {
-			for _, nALU := range cfg.ALUCounts {
-				for _, nCMP := range cfg.CMPCounts {
-					for rfi, rfs := range cfg.RFSets {
-						for _, strat := range cfg.Assigns {
-							archs = append(archs, buildArch(cfg.Width, buses, nALU, nCMP, rfs, strat, id, rfi))
-							id++
-						}
-					}
-				}
-			}
-		}
-		enumSp.End()
+	archs, err := produceArchs(ctx, &cfg, root)
+	if err != nil {
+		cfg.Obs.Gauge("dse.worker.utilization").Set(0)
+		return nil, err
 	}
 	total = len(archs)
 	reg.Counter("dse.candidates.total").Add(int64(len(archs)))
 
-	errs := runEvaluations(ctx, &cfg, root, archs, res, em, nEvents)
-	partial := partialErrorFor(ctx, archs, res, errs)
+	// A shard run evaluates only its contiguous slice of the list.
+	// Candidate production above is a pure function of the config, so
+	// every shard (and the merge) derives the same list with the same
+	// global indices — no index remapping anywhere.
+	lo, hi := 0, len(archs)
+	if cfg.Shard != nil {
+		if cfg.Checkpoint == nil {
+			cfg.Obs.Gauge("dse.worker.utilization").Set(0)
+			return nil, fmt.Errorf("dse: a shard run requires a Checkpoint (the shard's product is its checkpoint file)")
+		}
+		lo, hi = shardBounds(len(archs), cfg.Shard.Count, cfg.Shard.Index)
+		cfg.Checkpoint.setShard(checkpointShard{
+			Shards: cfg.Shard.Count, Index: cfg.Shard.Index, Lo: lo, Hi: hi, Total: len(archs),
+		})
+	}
+
+	errs := runEvaluations(ctx, &cfg, root, archs, res, em, nEvents, lo, hi)
+	partial := partialErrorFor(ctx, res, errs, lo, hi)
 	if hit, miss := reg.Counter("testcost.cache.hit").Value(), reg.Counter("testcost.cache.miss").Value(); hit+miss > 0 {
 		reg.Gauge("testcost.cache.hit_rate").Set(float64(hit) / float64(hit+miss))
+	}
+
+	if cfg.Shard != nil {
+		// Fronts and selection need the whole picture; a shard stops at
+		// its checkpoint and lets MergeExploreContext compute them once.
+		if partial != nil {
+			return res, partial
+		}
+		return res, nil
 	}
 
 	paretoSp := root.Child("pareto")
@@ -456,13 +476,49 @@ func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// partialErrorFor tallies the holes an evaluation sweep left behind and
-// builds the *PartialError describing them — nil when every candidate
-// evaluated cleanly.
-func partialErrorFor(ctx context.Context, archs []*tta.Architecture, res *Result, errs []error) *PartialError {
+// produceArchs builds the candidate list — exhaustive enumeration by
+// default, the guided GA screen when Search is set. It is a pure
+// function of the config (the GA draws from a control-thread-only rng
+// and screens with the pure bound tier), which is what lets shard
+// workers and the merge each derive the identical list.
+func produceArchs(ctx context.Context, cfg *Config, root *obs.Span) ([]*tta.Architecture, error) {
+	if cfg.Search != nil {
+		spec := *cfg.Search
+		if err := spec.fillDefaults(cfg.Seed); err != nil {
+			return nil, err
+		}
+		searchSp := root.Child("search")
+		archs, err := searchCandidates(ctx, cfg, searchSp, spec)
+		searchSp.End()
+		return archs, err
+	}
+	enumSp := root.Child("enumerate")
+	defer enumSp.End()
+	var archs []*tta.Architecture
+	id := 0
+	for _, buses := range cfg.Buses {
+		for _, nALU := range cfg.ALUCounts {
+			for _, nCMP := range cfg.CMPCounts {
+				for rfi, rfs := range cfg.RFSets {
+					for _, strat := range cfg.Assigns {
+						archs = append(archs, buildArch(cfg.Width, buses, nALU, nCMP, rfs, strat, id, rfi))
+						id++
+					}
+				}
+			}
+		}
+	}
+	return archs, nil
+}
+
+// partialErrorFor tallies the holes an evaluation sweep left behind over
+// its [lo, hi) slice and builds the *PartialError describing them — nil
+// when every candidate of the slice evaluated cleanly.
+func partialErrorFor(ctx context.Context, res *Result, errs []error, lo, hi int) *PartialError {
 	evaluated, panics := 0, 0
 	var errMap map[int]error
-	for i, err := range errs {
+	for i := lo; i < hi; i++ {
+		err := errs[i]
 		switch {
 		case err != nil:
 			if errMap == nil {
@@ -477,7 +533,7 @@ func partialErrorFor(ctx context.Context, archs []*tta.Architecture, res *Result
 			evaluated++
 		}
 	}
-	if errMap == nil && evaluated == len(archs) && ctx.Err() == nil {
+	if errMap == nil && evaluated == hi-lo && ctx.Err() == nil {
 		return nil
 	}
 	cause := ctx.Err()
@@ -487,10 +543,10 @@ func partialErrorFor(ctx context.Context, archs []*tta.Architecture, res *Result
 	if cause == nil {
 		// No context error and no per-candidate error, yet holes remain —
 		// defensive; the feed loop only skips candidates on ctx.Done().
-		cause = fmt.Errorf("dse: %d candidates never evaluated", len(archs)-evaluated)
+		cause = fmt.Errorf("dse: %d candidates never evaluated", hi-lo-evaluated)
 	}
 	return &PartialError{
-		Total:     len(archs),
+		Total:     hi - lo,
 		Evaluated: evaluated,
 		Panics:    panics,
 		Errs:      errMap,
@@ -498,15 +554,18 @@ func partialErrorFor(ctx context.Context, archs []*tta.Architecture, res *Result
 	}
 }
 
-// runEvaluations evaluates every candidate over a bounded worker pool,
-// filling res.Candidates (indexed, so ordering is deterministic at any
-// parallelism) and returning the per-candidate errors. Evaluations
+// runEvaluations evaluates the [lo, hi) slice of the candidate list over
+// a bounded worker pool, filling the matching res.Candidates slots
+// (indexed, so ordering is deterministic at any parallelism) and
+// returning the per-candidate errors. An unsharded run passes the whole
+// range; a shard run its own slice — events always carry the global
+// index and total, so downstream consumers never remap. Evaluations
 // recorded in cfg.Checkpoint are restored instead of recomputed, and new
 // completions are recorded back. A panicking evaluation is recovered
 // into its own error slot (*EvalPanicError); the sweep continues. The
 // "dse.worker.utilization" gauge is set on every exit path — including a
 // cancelled context or a candidate error surfacing to the caller.
-func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*tta.Architecture, res *Result, em *emitter, nEvents *atomic.Int64) []error {
+func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*tta.Architecture, res *Result, em *emitter, nEvents *atomic.Int64, lo, hi int) []error {
 	reg := cfg.Obs
 	res.Candidates = make([]Candidate, len(archs))
 	errs := make([]error, len(archs))
@@ -517,7 +576,8 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 	// consumers of a resumed run see the full picture.
 	restored := make([]bool, len(archs))
 	nRestored := 0
-	for i, arch := range archs {
+	for i := lo; i < hi; i++ {
+		arch := archs[i]
 		if e, ok := cfg.Checkpoint.lookup(checkpointKey(arch)); ok {
 			res.Candidates[i] = e.candidate(arch)
 			restored[i] = true
@@ -541,8 +601,8 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(archs)-nRestored {
-		workers = len(archs) - nRestored
+	if workers > hi-lo-nRestored {
+		workers = hi - lo - nRestored
 	}
 	reg.Gauge("dse.workers").Set(float64(workers))
 	memo := newSchedMemo()
@@ -596,7 +656,7 @@ func runEvaluations(ctx context.Context, cfg *Config, root *obs.Span, archs []*t
 		}()
 	}
 feed:
-	for i := range archs {
+	for i := lo; i < hi; i++ {
 		if restored[i] {
 			continue
 		}

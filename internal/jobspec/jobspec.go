@@ -12,11 +12,23 @@
 package jobspec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
 )
+
+// LaneWidthError reports a lane_width outside {0, 64, 256, 512}. It is a
+// typed error so spec boundaries (flag parsing, POST bodies) can detect
+// the specific failure instead of matching message text; the invalid
+// value never reaches the fault-simulation layer.
+type LaneWidthError struct{ Width int }
+
+func (e *LaneWidthError) Error() string {
+	return fmt.Sprintf("jobspec: lane_width %d is invalid (use 0 for auto, or 64, 256, 512)", e.Width)
+}
 
 // Workload names accepted by Spec.Workload ("" means crypt, the paper's
 // application). The builders live in internal/crypt and
@@ -133,6 +145,42 @@ type Spec struct {
 	// parameter space; Buses/ALUs/CMPs are then ignored. See
 	// dse.SearchSpec for the engine semantics.
 	Search *SearchSpec `json:"search,omitempty"`
+
+	// Shard, when non-nil, runs the job as a sharded fan-out: the daemon
+	// forks Shards local worker processes, each evaluating a deterministic
+	// contiguous slice of the candidate space, and merges their shard
+	// checkpoints into one report byte-identical to the unsharded run.
+	// Sharding is a throughput topology, not a result parameter: Hash
+	// ignores it.
+	Shard *ShardSpec `json:"shard,omitempty"`
+}
+
+// ShardSpec configures process-sharded execution of a job.
+type ShardSpec struct {
+	// Shards is the number of worker processes (>= 1).
+	Shards int `json:"shards"`
+
+	// MaxRestarts bounds how many times each crashed worker is restarted
+	// and resumed from its own shard checkpoint (0 = the default, 2).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+}
+
+// MaxShards caps ShardSpec.Shards: each shard is a full OS process, so
+// the useful count is bounded by cores, not candidates.
+const MaxShards = 256
+
+// Validate reports whether the shard topology is runnable.
+func (s *ShardSpec) Validate() error {
+	if s.Shards < 1 {
+		return fmt.Errorf("jobspec: shard count %d (want >= 1)", s.Shards)
+	}
+	if s.Shards > MaxShards {
+		return fmt.Errorf("jobspec: shard count %d exceeds the maximum %d", s.Shards, MaxShards)
+	}
+	if s.MaxRestarts < 0 {
+		return fmt.Errorf("jobspec: shard max_restarts %d is negative (use 0 for the default)", s.MaxRestarts)
+	}
+	return nil
 }
 
 // SearchSpec configures guided search (mirrors dse.SearchSpec field for
@@ -187,7 +235,12 @@ func (s *Spec) Validate() error {
 	switch s.LaneWidth {
 	case 0, 64, 256, 512:
 	default:
-		return fmt.Errorf("jobspec: lane_width %d is invalid (use 0 for auto, or 64, 256, 512)", s.LaneWidth)
+		return &LaneWidthError{Width: s.LaneWidth}
+	}
+	if s.Shard != nil {
+		if err := s.Shard.Validate(); err != nil {
+			return err
+		}
 	}
 	for _, l := range []struct {
 		name string
@@ -222,6 +275,42 @@ func (s *Spec) Normalize() {
 	s.Buses = sortedUnique(s.Buses)
 	s.ALUs = sortedUnique(s.ALUs)
 	s.CMPs = sortedUnique(s.CMPs)
+}
+
+// Hash returns a short stable identity for the job's RESULT: two specs
+// hash equal exactly when they describe the same deterministic report.
+// Topology and throughput knobs (shard layout, parallelism, ATPG workers,
+// lane width) and I/O paths (cache, checkpoint) are excluded — results
+// are byte-identical across all of them — as is Timeout, which changes
+// only where a run may be cut off, never the converged bytes. ATPGDeadline
+// stays in: a budgeted run records degraded annotations with different
+// values. The hash names checkpoint files, so every shard of a job and
+// its unsharded twin agree on it.
+func (s Spec) Hash() string {
+	// The receiver is a shallow copy; Normalize would otherwise sort the
+	// caller's slices in place through the shared backing arrays.
+	s.Buses = append([]int(nil), s.Buses...)
+	s.ALUs = append([]int(nil), s.ALUs...)
+	s.CMPs = append([]int(nil), s.CMPs...)
+	if s.Search != nil {
+		sr := *s.Search
+		s.Search = &sr
+	}
+	s.Shard = nil
+	s.Parallelism = 0
+	s.ATPGWorkers = 0
+	s.LaneWidth = 0
+	s.Cache = ""
+	s.Checkpoint = ""
+	s.Timeout = 0
+	s.Normalize()
+	b, err := json.Marshal(&s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on one.
+		panic(fmt.Sprintf("jobspec: marshal spec for hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }
 
 // AnnotatorKey returns the identity of the warm annotation state this job

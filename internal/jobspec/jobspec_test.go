@@ -42,6 +42,10 @@ func TestValidateRejects(t *testing.T) {
 		{"search-eta-negative", Spec{Search: &SearchSpec{Eta: -1}}, "search"},
 		{"search-eta-one", Spec{Search: &SearchSpec{Eta: 1}}, "eta 1"},
 		{"search-seed", Spec{Search: &SearchSpec{Seed: -4}}, "search seed"},
+		{"shard-zero", Spec{Shard: &ShardSpec{Shards: 0}}, "shard count"},
+		{"shard-negative", Spec{Shard: &ShardSpec{Shards: -2}}, "shard count"},
+		{"shard-huge", Spec{Shard: &ShardSpec{Shards: MaxShards + 1}}, "maximum"},
+		{"shard-restarts", Spec{Shard: &ShardSpec{Shards: 2, MaxRestarts: -1}}, "max_restarts"},
 	}
 	for _, tc := range cases {
 		err := tc.s.Validate()
@@ -78,6 +82,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		LaneWidth:       256,
 		VerifySelected:  true,
 		Search:          &SearchSpec{Population: 128, Generations: 10, Eta: 4, Seed: 42},
+		Shard:           &ShardSpec{Shards: 4, MaxRestarts: 1},
 	}
 	data, err := json.Marshal(&in)
 	if err != nil {
@@ -138,6 +143,45 @@ func TestNormalize(t *testing.T) {
 	s.Normalize() // idempotent
 	if !reflect.DeepEqual(s.Buses, []int{1, 2, 4}) {
 		t.Fatalf("normalize not idempotent: %+v", s)
+	}
+}
+
+func TestHashIgnoresTopology(t *testing.T) {
+	base := Spec{Workload: "crc16", Buses: []int{1, 2}, ALUs: []int{1}, Norm: "manhattan"}
+	want := base.Hash()
+	if len(want) != 16 {
+		t.Fatalf("hash %q, want 16 hex chars", want)
+	}
+	same := []Spec{
+		{Workload: "crc16", Buses: []int{2, 1, 2}, ALUs: []int{1}, Norm: "manhattan"}, // normalization
+		func() Spec { s := base; s.Shard = &ShardSpec{Shards: 8}; return s }(),
+		func() Spec { s := base; s.Parallelism = 7; return s }(),
+		func() Spec { s := base; s.ATPGWorkers = 3; return s }(),
+		func() Spec { s := base; s.LaneWidth = 512; return s }(),
+		func() Spec { s := base; s.Cache = "/tmp/x"; s.Checkpoint = "/tmp/y"; return s }(),
+		func() Spec { s := base; s.Timeout = Duration(time.Minute); return s }(),
+	}
+	for i, s := range same {
+		if got := s.Hash(); got != want {
+			t.Errorf("variant %d: hash %q != base %q (topology must not change result identity)", i, got, want)
+		}
+	}
+	diff := []Spec{
+		{Workload: "vecmax", Buses: []int{1, 2}, ALUs: []int{1}, Norm: "manhattan"},
+		func() Spec { s := base; s.ATPGDeadline = Duration(time.Millisecond); return s }(),
+		func() Spec { s := base; s.Search = &SearchSpec{Population: 10}; return s }(),
+		func() Spec { s := base; s.VerifySelected = true; return s }(),
+	}
+	for i, s := range diff {
+		if got := s.Hash(); got == want {
+			t.Errorf("variant %d: hash collided with base (field must be result-significant)", i)
+		}
+	}
+	// Hash must not mutate the caller's spec (Normalize works on copies).
+	s := Spec{Buses: []int{3, 1}}
+	s.Hash()
+	if !reflect.DeepEqual(s.Buses, []int{3, 1}) {
+		t.Fatalf("Hash mutated the spec: %v", s.Buses)
 	}
 }
 

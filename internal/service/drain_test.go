@@ -71,7 +71,7 @@ func TestDrainCheckpointsAndResumesByteIdentically(t *testing.T) {
 	}
 
 	// Drain left durable state behind.
-	ckpt := filepath.Join(dir, "job-"+specHash(spec)+".ckpt")
+	ckpt := filepath.Join(dir, "job-"+spec.Hash()+".ckpt")
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Fatalf("no checkpoint after drain: %v", err)
 	}

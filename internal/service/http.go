@@ -186,6 +186,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// handleMetrics serves the server registry's snapshot with the per-job
+// exploration metrics folded in: the streaming-front counters
+// (pareto.stream.*) and the shard fan-out counters (dse.shard.*) live
+// on each job's own registry, so the server-wide view sums them across
+// jobs (counters and gauges alike — the workers gauge then reads as
+// "live shard workers, all jobs").
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	snap := s.reg.Snapshot()
+	for _, job := range s.Jobs() {
+		js := job.reg.Snapshot()
+		for name, v := range js.Counters {
+			if aggregatedMetric(name) {
+				snap.Counters[name] += v
+			}
+		}
+		for name, v := range js.Gauges {
+			if aggregatedMetric(name) {
+				snap.Gauges[name] += v
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func aggregatedMetric(name string) bool {
+	return strings.HasPrefix(name, "pareto.stream.") || strings.HasPrefix(name, "dse.shard.")
 }

@@ -30,9 +30,6 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -84,6 +81,14 @@ type Options struct {
 	// Inject, when non-nil, arms chaos/test injection inside every job's
 	// exploration (dse.Config.Inject) and the annotator pool.
 	Inject *faultinject.Injector
+	// ShardWorkerCommand is the argv prefix used to exec the worker
+	// processes of a sharded job (Spec.Shard != nil). Empty means
+	// re-exec this binary with "-shard-worker" prepended, which
+	// cmd/ttadsed dispatches to ShardWorkerMain before flag parsing.
+	// Tests point it at the test binary and gate on ShardWorkerEnv.
+	ShardWorkerCommand []string
+	// ShardWorkerEnv is appended to os.Environ() for every shard worker.
+	ShardWorkerEnv []string
 }
 
 // Server is the exploration daemon. Construct with NewServer, expose
@@ -187,23 +192,15 @@ func (s *Server) annotator(spec *jobspec.Spec) *testcost.Annotator {
 	return a
 }
 
-// specHash names checkpoint files: the hash of the normalized spec, so
-// a resubmitted job finds the interrupted run's finished prefix.
-func specHash(spec jobspec.Spec) string {
-	spec.Normalize()
-	b, err := json.Marshal(&spec)
-	if err != nil { // a Spec always marshals; defensive
-		return "invalid"
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:8])
-}
-
+// checkpointPath names a job's checkpoint file by its result identity
+// (jobspec.Spec.Hash), so a resubmitted spec finds the interrupted
+// run's finished prefix — and a sharded job's workers agree with its
+// unsharded twin on the same hash.
 func (s *Server) checkpointPath(spec jobspec.Spec) string {
 	if s.opts.CheckpointDir == "" {
 		return ""
 	}
-	return filepath.Join(s.opts.CheckpointDir, "job-"+specHash(spec)+".ckpt")
+	return filepath.Join(s.opts.CheckpointDir, "job-"+spec.Hash()+".ckpt")
 }
 
 // Submit validates and admits a job. It returns ErrDraining once Drain

@@ -1,0 +1,380 @@
+// Process-sharded job execution: a job whose Spec.Shard is set fans
+// out over N worker OS processes. The coordinator (runSharded) writes
+// the worker spec and a read-only seed of the daemon's warm annotation
+// cache to a work directory, execs one worker per shard, forwards each
+// worker's NDJSON event stream into the job's sink (so progress and
+// live fronts aggregate across processes), restarts crashed workers
+// from their own shard checkpoints up to a bound, and finally merges
+// the shard checkpoints through dse.MergeExploreContext — producing a
+// report byte-identical to the unsharded run of the same spec. The
+// workers' newly annotated components are merged back into the shared
+// annotator, so later jobs warm-start from the whole fan-out's work.
+//
+// The worker side (ShardWorkerMain) is the same binary: cmd/ttadsed
+// dispatches "-shard-worker" to it before flag parsing. A worker is an
+// ordinary cancellable exploration with Config.Shard set; its product
+// is its shard checkpoint file, its stdout is the event stream, and a
+// non-zero exit tells the coordinator to restart it (the checkpoint
+// makes the restart a resume, not a redo).
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+	"repro/internal/testcost"
+)
+
+// DefaultMaxRestarts is how many times a crashed shard worker is
+// restarted (and resumed from its checkpoint) when the spec leaves
+// ShardSpec.MaxRestarts zero.
+const DefaultMaxRestarts = 2
+
+// shardCheckpointPath names shard i's checkpoint inside the work dir.
+func shardCheckpointPath(dir, hash string, i, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("job-%s.shard%dof%d.ckpt", hash, i, n))
+}
+
+// shardCachePath names shard i's write-side annotation cache. The seed
+// cache is read-shared; each worker writes its new annotations here and
+// the coordinator unions them after the fan-out.
+func shardCachePath(dir, hash string, i, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("job-%s.cache.shard%dof%d", hash, i, n))
+}
+
+// runSharded is the coordinator half of a sharded job. Called from the
+// job goroutine with the running slot already held.
+func (s *Server) runSharded(job *Job) {
+	cfg, sel, err := dse.FromSpec(job.Spec)
+	if err != nil {
+		job.finish(StateFailed, err.Error(), nil)
+		return
+	}
+	ann := s.annotator(&job.Spec)
+	cfg.Obs = job.reg
+	cfg.Inject = s.opts.Inject
+	cfg.Annotator = ann
+	cfg.EventSink = job.sink
+
+	// With a CheckpointDir the shard files persist across daemon
+	// restarts (resubmitting the spec resumes every worker); without
+	// one they live in a temp dir for the fan-out's duration.
+	workDir := s.opts.CheckpointDir
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "ttadsed-shards-")
+		if err != nil {
+			job.finish(StateFailed, err.Error(), nil)
+			return
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	}
+
+	hash := job.Spec.Hash()
+	n := job.Spec.Shard.Shards
+	maxRestarts := job.Spec.Shard.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = DefaultMaxRestarts
+	}
+
+	// The worker spec is the job minus everything the coordinator owns:
+	// the fan-out itself, cache and checkpoint paths (per-shard, passed
+	// as flags) and the wall-clock bound (enforced here by killing the
+	// workers through the context).
+	wspec := job.Spec
+	wspec.Shard = nil
+	wspec.Cache = ""
+	wspec.Checkpoint = ""
+	wspec.Timeout = 0
+	specPath := filepath.Join(workDir, "job-"+hash+".spec.json")
+	if b, err := json.MarshalIndent(&wspec, "", "  "); err != nil {
+		job.finish(StateFailed, err.Error(), nil)
+		return
+	} else if err := os.WriteFile(specPath, b, 0o644); err != nil {
+		job.finish(StateFailed, err.Error(), nil)
+		return
+	}
+
+	// Seed the workers with the daemon's warm annotations (read-only on
+	// their side). Failure to write it only costs warmth, never the job.
+	seedCache := filepath.Join(workDir, "job-"+hash+".cache.seed")
+	if err := ann.SaveFile(seedCache); err != nil {
+		s.reg.Counter("service.cache.save_errors").Inc()
+		job.reg.Emit(obs.Event{Kind: "warning",
+			Msg: fmt.Sprintf("shard seed cache not written: %v", err)})
+		seedCache = ""
+	}
+
+	runCtx := job.ctx
+	if job.Spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(job.ctx, job.Spec.Timeout.Std())
+		defer cancel()
+	}
+
+	// Fan out: one supervisor goroutine per shard, each restarting its
+	// worker from the shard checkpoint up to maxRestarts times.
+	workersGauge := job.reg.Gauge("dse.shard.workers")
+	var live atomic.Int64
+	var seq atomic.Int64 // coordinator-stamped sequence over all workers
+	werrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ckpt := shardCheckpointPath(workDir, hash, i, n)
+			cacheOut := shardCachePath(workDir, hash, i, n)
+			for attempt := 0; ; attempt++ {
+				workersGauge.Set(float64(live.Add(1)))
+				err := s.runShardWorkerOnce(runCtx, job, &seq, specPath, seedCache, ckpt, cacheOut, i, n)
+				workersGauge.Set(float64(live.Add(-1)))
+				if err == nil {
+					return
+				}
+				if runCtx.Err() != nil {
+					werrs[i] = context.Cause(runCtx)
+					return
+				}
+				if attempt >= maxRestarts {
+					werrs[i] = err
+					return
+				}
+				job.reg.Counter("dse.shard.restarts").Inc()
+				job.sink(dse.Event{Kind: dse.EventWarning, Seq: seq.Add(1),
+					Msg: fmt.Sprintf("shard %d/%d worker died (attempt %d of %d), resuming from its checkpoint: %v",
+						i, n, attempt+1, maxRestarts+1, err)})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	fail := func(msg string, report []byte) {
+		st := terminalState(context.Cause(job.ctx))
+		if st == StateFailed && runCtx.Err() != nil && job.ctx.Err() == nil {
+			msg = fmt.Sprintf("job timeout %v exceeded: %s", job.Spec.Timeout.Std(), msg)
+		}
+		s.reg.Counter("service.jobs." + string(st)).Inc()
+		job.finish(st, msg, report)
+	}
+	var failed []string
+	for i, e := range werrs {
+		if e != nil {
+			failed = append(failed, fmt.Sprintf("shard %d/%d: %v", i, n, e))
+		}
+	}
+	if len(failed) > 0 {
+		fail(strings.Join(failed, "; "), nil)
+		return
+	}
+
+	// Union the workers' new annotations into the shared annotator so
+	// later jobs (and this merge's optional verification) start warm.
+	cachePaths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		cachePaths = append(cachePaths, shardCachePath(workDir, hash, i, n))
+	}
+	if _, err := ann.MergeFiles(cachePaths...); err != nil {
+		s.reg.Counter("service.cache.load_errors").Inc()
+		job.reg.Emit(obs.Event{Kind: "warning",
+			Msg: fmt.Sprintf("shard caches not merged: %v", err)})
+	}
+
+	// Canonical merge: re-derive the candidate list, validate that the
+	// shard checkpoints tile it, rebuild fronts in index order. The
+	// merge emits the job's single "done" event.
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		paths = append(paths, shardCheckpointPath(workDir, hash, i, n))
+	}
+	res, mergeErr := dse.MergeExploreContext(runCtx, cfg, paths)
+	study := core.NewStudyWithConfig(cfg)
+	study.Result = res
+	report := buildReport(study, sel)
+	if mergeErr != nil {
+		fail(mergeErr.Error(), report)
+		return
+	}
+	if sel != (dse.SelectionSpec{}) {
+		if err := study.Reselect(sel); err != nil {
+			job.finish(StateFailed, err.Error(), report)
+			return
+		}
+		report = buildReport(study, sel)
+	}
+	s.reg.Counter("service.jobs.done").Inc()
+	job.finish(StateDone, "", report)
+}
+
+// runShardWorkerOnce execs one worker process, forwards its NDJSON
+// event stream into the job's sink, and returns the worker's failure
+// (exit status plus a stderr tail) if any. Worker "done" events are
+// swallowed — the merge emits the job's single terminal event.
+func (s *Server) runShardWorkerOnce(ctx context.Context, job *Job, seq *atomic.Int64,
+	specPath, seedCache, ckpt, cacheOut string, index, shards int) error {
+	argv := s.opts.ShardWorkerCommand
+	if len(argv) == 0 {
+		argv = []string{os.Args[0], "-shard-worker"}
+	}
+	args := append(append([]string(nil), argv[1:]...),
+		"-spec", specPath,
+		"-shards", strconv.Itoa(shards),
+		"-shard-index", strconv.Itoa(index),
+		"-checkpoint", ckpt,
+		"-cache-out", cacheOut,
+	)
+	if seedCache != "" {
+		args = append(args, "-cache", seedCache)
+	}
+	cmd := exec.CommandContext(ctx, argv[0], args...)
+	cmd.Env = append(os.Environ(), s.opts.ShardWorkerEnv...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev dse.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // not an event line (worker chatter); drop
+		}
+		if ev.Kind == dse.EventDone {
+			continue
+		}
+		// Re-stamp: each worker numbers its own stream from 1; the job's
+		// stream needs one monotone sequence across all of them.
+		ev.Seq = seq.Add(1)
+		job.sink(ev)
+	}
+	scanErr := sc.Err()
+	if err := cmd.Wait(); err != nil {
+		if msg := stderrTail(&stderr); msg != "" {
+			return fmt.Errorf("%w: %s", err, msg)
+		}
+		return err
+	}
+	return scanErr
+}
+
+// stderrTail returns the last few hundred bytes of a worker's stderr —
+// enough to name the failure without flooding the job's error message.
+func stderrTail(b *bytes.Buffer) string {
+	msg := strings.TrimSpace(b.String())
+	const max = 512
+	if len(msg) > max {
+		msg = "..." + msg[len(msg)-max:]
+	}
+	return msg
+}
+
+// ShardWorkerMain is the entry point of one shard worker process.
+// cmd/ttadsed dispatches here when invoked as "ttadsed -shard-worker
+// <flags>"; tests re-exec the test binary into it. It runs the spec's
+// exploration restricted to this worker's shard slot, streams NDJSON
+// dse.Events on stdout, and persists the shard checkpoint and the
+// worker's annotation cache. The exit code is 0 on a complete shard,
+// 1 on any failure (the coordinator restarts the worker, which resumes
+// from the checkpoint), 2 on a flag error.
+func ShardWorkerMain(args []string) int {
+	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	specPath := fs.String("spec", "", "job spec JSON file")
+	shards := fs.Int("shards", 1, "total shard count")
+	index := fs.Int("shard-index", 0, "this worker's shard index")
+	ckpt := fs.String("checkpoint", "", "shard checkpoint file (the worker's product)")
+	cache := fs.String("cache", "", "seed annotation cache, read-only warm start (optional)")
+	cacheOut := fs.String("cache-out", "", "file for this shard's new annotations (optional)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := runShardWorker(*specPath, *shards, *index, *ckpt, *cache, *cacheOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func runShardWorker(specPath string, shards, index int, ckptPath, cachePath, cacheOut string) error {
+	if specPath == "" || ckptPath == "" {
+		return errors.New("service: shard worker needs -spec and -checkpoint")
+	}
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	var spec jobspec.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("service: decoding worker spec %s: %w", specPath, err)
+	}
+	cfg, _, err := dse.FromSpec(spec)
+	if err != nil {
+		return err
+	}
+	cfg.Shard = &dse.ShardRange{Count: shards, Index: index}
+	cfg.Obs = obs.NewRegistry()
+
+	ann := testcost.NewAnnotator(cfg.Width, cfg.Seed)
+	ann.Obs = cfg.Obs
+	ann.ATPGDeadline = spec.ATPGDeadline.Std()
+	if cachePath != "" {
+		if err := ann.LoadFile(cachePath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "warning: seed cache %s not loaded: %v\n", cachePath, err)
+		}
+	}
+	cfg.Annotator = ann
+
+	enc := json.NewEncoder(os.Stdout)
+	var mu sync.Mutex
+	cfg.EventSink = func(ev dse.Event) {
+		mu.Lock()
+		enc.Encode(&ev) // best-effort stream; a dead coordinator kills us anyway
+		mu.Unlock()
+	}
+
+	ck, ckErr := dse.OpenCheckpoint(ckptPath, cfg)
+	if ck == nil {
+		return ckErr
+	}
+	if ckErr != nil {
+		fmt.Fprintf(os.Stderr, "warning: checkpoint %s restarted cold: %v\n", ckptPath, ckErr)
+	}
+	cfg.Checkpoint = ck
+
+	_, runErr := dse.ExploreContext(context.Background(), cfg)
+	// A complete shard flushed on its way out; a partial one must
+	// persist its tail so the restart resumes instead of redoing.
+	ck.Flush()
+	if cacheOut != "" {
+		if err := ann.SaveFile(cacheOut); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -176,5 +177,53 @@ func TestLibraryKeyInFile(t *testing.T) {
 	}
 	if f.Sockets == nil || f.Sockets.In.NP <= 0 || f.Sockets.Out.NP <= 0 {
 		t.Fatalf("socket annotations missing from the file: %+v", f.Sockets)
+	}
+}
+
+// TestMergeFiles pins the per-shard cache union: existing entries win,
+// missing files are skipped, and corruption aborts with a typed error.
+func TestMergeFiles(t *testing.T) {
+	a, _ := coldAnnotator(t)
+	dir := t.TempDir()
+	shard0 := filepath.Join(dir, "cache.shard0")
+	if err := a.SaveFile(shard0); err != nil {
+		t.Fatal(err)
+	}
+	b := NewAnnotator(8, 7)
+	arch := tta.Figure9()
+	arch.Width = 8
+	arch.Buses++ // different CD -> at least some distinct socket demand
+	if _, err := b.Evaluate(arch); err != nil {
+		t.Fatal(err)
+	}
+	shard1 := filepath.Join(dir, "cache.shard1")
+	if err := b.SaveFile(shard1); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := NewAnnotator(8, 7)
+	n, err := merged.MergeFiles(shard0, filepath.Join(dir, "absent.shard9"), shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("MergeFiles loaded %d files, want 2 (one was absent)", n)
+	}
+	merged.mu.Lock()
+	got := len(merged.cache)
+	merged.mu.Unlock()
+	a.mu.Lock()
+	want := len(a.cache)
+	a.mu.Unlock()
+	if got < want {
+		t.Fatalf("merged cache holds %d entries, fewer than shard 0 alone (%d)", got, want)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.MergeFiles(bad); err == nil {
+		t.Fatal("corrupt shard cache accepted by MergeFiles")
 	}
 }
