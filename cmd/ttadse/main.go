@@ -166,7 +166,10 @@ func main() {
 	// matching cache file exists. A missing file is an ordinary cold
 	// start; a stale file (different format version, library generation,
 	// width, seed or march) is ignored with a warning and overwritten
-	// after the run.
+	// after the run; an irrecoverably corrupt file is quarantined to
+	// *.corrupt (the warning names the quarantine path) and the run
+	// starts cold. A torn tail — a crash mid-save — is not corruption:
+	// the intact record prefix still warm-starts.
 	if *cache != "" {
 		cfg.Annotator = testcost.NewAnnotator(cfg.Width, cfg.Seed)
 		cfg.Annotator.Obs = cfg.Obs // count loaded entries when instrumented
@@ -219,8 +222,11 @@ func main() {
 	}
 
 	// Checkpoint/resume: restore completed evaluations from a previous
-	// (killed) run of the same exploration; a stale or damaged file is
-	// ignored with a warning and overwritten.
+	// (killed) run of the same exploration. A stale file is ignored with
+	// a warning and overwritten; a file with a torn tail (the previous
+	// run died mid-flush) resumes from its intact record prefix; an
+	// irrecoverably corrupt file is quarantined to *.corrupt and the
+	// exploration restarts cold — never a crash, never a silent loss.
 	if *checkpoint != "" {
 		ck, err := dse.OpenCheckpoint(*checkpoint, cfg)
 		if ck == nil {

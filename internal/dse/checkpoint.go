@@ -3,6 +3,16 @@
 // run killed mid-sweep (power loss, OOM, operator ^C) resumes from the
 // finished prefix instead of re-measuring every gate-level ATPG run.
 //
+// On disk a checkpoint is a sequence of CRC32C-framed records (package
+// durable): one compact header record, then one record per entry in
+// sorted key order. Writes go through an fsync-before-rename atomic
+// path, and a torn or bit-flipped file loads its longest valid record
+// prefix — the run resumes from the last intact evaluation instead of
+// going cold. Files written by pre-framing builds (one indented JSON
+// document) still load, flagged by a one-time legacy-format obs event;
+// files that yield no usable prefix are quarantined as *.corrupt and
+// reported as a typed durable.CorruptArtifactError.
+//
 // The file is keyed by everything that determines a candidate's value:
 // the checkpoint format version, the gate-level library generation
 // (gatelib.LibraryKey), the data-path width, the ATPG seed and a weak
@@ -21,8 +31,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/faultinject"
 	"repro/internal/gatelib"
 	"repro/internal/obs"
@@ -59,7 +71,16 @@ type checkpointFile struct {
 	// indices [Lo, Hi) of a Total-candidate space split Shards ways.
 	Shard *checkpointShard `json:"shard,omitempty"`
 
-	Entries map[string]checkpointEntry `json:"entries"`
+	// Entries is populated in the legacy whole-document format and left
+	// empty in the framed header record (entries follow as records).
+	Entries map[string]checkpointEntry `json:"entries,omitempty"`
+}
+
+// checkpointRecord is one framed entry record: the candidate key and its
+// completed evaluation, compact JSON on a single line.
+type checkpointRecord struct {
+	Key   string          `json:"k"`
+	Entry checkpointEntry `json:"e"`
 }
 
 // checkpointShard is the shard header: which contiguous slice of the
@@ -158,6 +179,7 @@ func (e *CheckpointCorruptError) Unwrap() error { return e.Err }
 // the end). Methods are safe for concurrent use by the worker pool.
 type Checkpoint struct {
 	mu         sync.Mutex
+	flushMu    sync.Mutex // serializes flush snapshot+write; acquired before mu, never while holding it
 	path       string
 	header     checkpointFile // Entries nil; header fields only
 	entries    map[string]checkpointEntry
@@ -266,9 +288,13 @@ func OpenCheckpoint(path string, cfg Config) (*Checkpoint, error) {
 	if err != nil {
 		return ck, &CheckpointCorruptError{Reason: "read", Err: err}
 	}
-	var f checkpointFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return ck, &CheckpointCorruptError{Reason: "decode", Err: err}
+	f, rec, derr := decodeCheckpointData(data)
+	reg := ck.obs
+	if rec.CRCFail {
+		reg.Counter("durability.crc_fail").Inc()
+	}
+	if derr != nil {
+		return ck, ck.quarantine(&CheckpointCorruptError{Reason: "decode", Err: derr})
 	}
 	for _, m := range []struct{ field, want, got string }{
 		{"format version", fmt.Sprint(ck.header.Version), fmt.Sprint(f.Version)},
@@ -295,13 +321,91 @@ func OpenCheckpoint(path string, cfg Config) (*Checkpoint, error) {
 	}
 	for k, e := range f.Entries {
 		if err := validCheckpointEntry(e); err != nil {
-			return ck, &CheckpointCorruptError{Reason: fmt.Sprintf("entry %q", k), Err: err}
+			return ck, ck.quarantine(&CheckpointCorruptError{Reason: fmt.Sprintf("entry %q", k), Err: err})
 		}
 	}
 	for k, e := range f.Entries {
 		ck.entries[k] = e
 	}
+	if rec.Torn {
+		reg.Counter("durability.prefix_recovered").Inc()
+		reg.Emit(obs.Event{Kind: "warning", Msg: fmt.Sprintf(
+			"checkpoint %s was torn (%s); recovered %d entries from the valid prefix", path, rec.Cause, len(f.Entries))})
+	}
+	if rec.Legacy {
+		reg.Counter("durability.legacy_loads").Inc()
+		reg.Emit(obs.Event{Kind: "warning", Msg: fmt.Sprintf(
+			"checkpoint %s is in the legacy (pre-CRC) format; the next flush rewrites it framed", path)})
+	}
 	return ck, nil
+}
+
+// quarantine moves an irrecoverable checkpoint file out of the way (to
+// <path>.corrupt, preserving the evidence) and wraps cause in a
+// *durable.CorruptArtifactError — the typed, obs-visible replacement for
+// silently overwriting a damaged file at the next flush. errors.As still
+// finds the wrapped *CheckpointCorruptError.
+func (ck *Checkpoint) quarantine(cause *CheckpointCorruptError) error {
+	q := durable.Quarantine(ck.path)
+	ck.obs.Counter("durability.quarantined").Inc()
+	err := &durable.CorruptArtifactError{Artifact: "checkpoint", Path: ck.path, QuarantinedTo: q, Err: cause}
+	ck.obs.Emit(obs.Event{Kind: "warning", Msg: err.Error()})
+	return err
+}
+
+// decodeCheckpointData parses either checkpoint format via
+// durable.DecodeDocument. For a framed file it recovers the longest
+// valid record prefix, reporting the damage in the recovery summary;
+// the error return is reserved for files that yield nothing usable (no
+// intact header record, or a legacy document that does not parse).
+func decodeCheckpointData(data []byte) (checkpointFile, durable.Recovery, error) {
+	var f checkpointFile
+	rec, err := durable.DecodeDocument(data,
+		func(doc []byte) error { return json.Unmarshal(doc, &f) },
+		func(head []byte) error {
+			if err := json.Unmarshal(head, &f); err != nil {
+				return err
+			}
+			if f.Entries == nil {
+				f.Entries = make(map[string]checkpointEntry)
+			}
+			return nil
+		},
+		func(p []byte) error {
+			var r checkpointRecord
+			if err := json.Unmarshal(p, &r); err != nil {
+				return err
+			}
+			f.Entries[r.Key] = r.Entry
+			return nil
+		})
+	return f, rec, err
+}
+
+// encodeCheckpoint renders f in the framed on-disk format: one compact
+// header record, then one record per entry in sorted key order —
+// deterministic bytes for identical content.
+func encodeCheckpoint(f checkpointFile) ([]byte, error) {
+	entries := f.Entries
+	f.Entries = nil
+	head, err := json.Marshal(&f)
+	if err != nil {
+		return nil, err
+	}
+	buf := durable.AppendRecord(nil, head)
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p, err := json.Marshal(&checkpointRecord{Key: k, Entry: entries[k]})
+		if err != nil {
+			return nil, err
+		}
+		buf = durable.AppendRecord(buf, p)
+	}
+	return buf, nil
 }
 
 // validCheckpointEntry rejects values no honest flush could have
@@ -381,20 +485,39 @@ func (ck *Checkpoint) record(key string, c *Candidate) {
 	}
 }
 
-// Flush rewrites the checkpoint file atomically (temp file + rename).
-// Errors are reported as an obs warning and swallowed: losing a
-// checkpoint write must never kill the run it exists to protect.
-func (ck *Checkpoint) Flush() {
+// Flush rewrites the checkpoint file, reporting failure as an obs
+// warning only: losing a mid-run checkpoint write must never kill the
+// run it exists to protect. Periodic flushes skip the parent-directory
+// fsync (it dominates the write cost, and an un-synced rename merely
+// resurfaces the previous intact version after a power cut); use
+// FlushErr where the file is a deliverable.
+func (ck *Checkpoint) Flush() { ck.flushReport(false) }
+
+// FlushErr rewrites the checkpoint file through the fully durable path
+// (framed records, unique temp file, fsync, rename, directory fsync) and
+// returns the write error after reporting it. Shard workers use the
+// error form for their final flush: a torn interchange file must fail
+// the worker — so the coordinator restarts it and the restart
+// prefix-recovers — rather than hand the merge damaged input.
+func (ck *Checkpoint) FlushErr() error { return ck.flushReport(true) }
+
+func (ck *Checkpoint) flushReport(dirSync bool) error {
 	if ck == nil {
-		return
+		return nil
 	}
-	if err := ck.flush(); err != nil {
+	err := ck.flush(dirSync)
+	if err != nil {
 		ck.obs.Counter("dse.checkpoint.write_errors").Inc()
 		ck.obs.Emit(obs.Event{Kind: "warning", Msg: fmt.Sprintf("checkpoint flush failed: %v", err)})
 	}
+	return err
 }
 
-func (ck *Checkpoint) flush() error {
+func (ck *Checkpoint) flush(dirSync bool) error {
+	// flushMu is held across snapshot + write so concurrent flushes land
+	// in snapshot order and the file's entry set only ever grows.
+	ck.flushMu.Lock()
+	defer ck.flushMu.Unlock()
 	ck.mu.Lock()
 	f := ck.header
 	f.Entries = make(map[string]checkpointEntry, len(ck.entries))
@@ -403,16 +526,12 @@ func (ck *Checkpoint) flush() error {
 	}
 	inj := ck.inject
 	ck.mu.Unlock()
-	if err := inj.Hit(faultinject.Checkpoint); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(&f, "", "  ") // map keys marshal sorted: deterministic bytes
+	data, err := encodeCheckpoint(f)
 	if err != nil {
 		return err
 	}
-	tmp := ck.path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
+	if dirSync {
+		return durable.WriteFileAtomic(ck.path, data, inj, faultinject.Checkpoint)
 	}
-	return os.Rename(tmp, ck.path)
+	return durable.WriteFileAtomicNoDirSync(ck.path, data, inj, faultinject.Checkpoint)
 }

@@ -1,0 +1,373 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+)
+
+// recordedCheckpoint runs a checkpointed two-candidate exploration and
+// returns the reference result plus the on-disk checkpoint bytes.
+func recordedCheckpoint(t *testing.T) (Config, *Result, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dse.ckpt")
+	cfg := twoCandConfig(t)
+	ck, err := OpenCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = ck
+	ref, err := ExploreContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != 2 {
+		t.Fatalf("checkpoint holds %d entries, want 2", ck.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = nil
+	return cfg, ref, data
+}
+
+// recordBoundaries returns the byte offsets at which a framed file's
+// record prefix ends cleanly — truncation exactly there is
+// indistinguishable from an honestly shorter checkpoint.
+func recordBoundaries(data []byte) map[int]bool {
+	payloads, _, torn := durable.ScanRecords(data)
+	if torn != nil {
+		panic("recordBoundaries on damaged data")
+	}
+	b := map[int]bool{}
+	off := 0
+	var buf []byte
+	for _, p := range payloads {
+		buf = durable.AppendRecord(buf[:0], p)
+		off += len(buf)
+		b[off] = true
+	}
+	return b
+}
+
+// TestCheckpointTruncationSweep truncates a recorded checkpoint at every
+// byte offset: every open must either prefix-recover or quarantine with
+// a typed error, never panic, and never come back cold without an obs
+// counter (except at exact record boundaries, where the shorter file is
+// a valid checkpoint in its own right).
+func TestCheckpointTruncationSweep(t *testing.T) {
+	cfg, ref, data := recordedCheckpoint(t)
+	bounds := recordBoundaries(data)
+	full := 2
+
+	for cut := 0; cut <= len(data); cut++ {
+		p := filepath.Join(t.TempDir(), "ck")
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		c := cfg
+		c.Obs = reg
+		ck, err := OpenCheckpoint(p, c)
+		if ck == nil {
+			t.Fatalf("cut %d: nil checkpoint", cut)
+		}
+		if err != nil {
+			var ca *durable.CorruptArtifactError
+			var cc *CheckpointCorruptError
+			if !errors.As(err, &ca) || !errors.As(err, &cc) {
+				t.Fatalf("cut %d: err %T (%v), want CorruptArtifactError wrapping CheckpointCorruptError", cut, err, err)
+			}
+			if ck.Len() != 0 {
+				t.Fatalf("cut %d: corrupt open kept %d entries", cut, ck.Len())
+			}
+			if reg.Counter("durability.quarantined").Value() == 0 {
+				t.Fatalf("cut %d: quarantine without counter", cut)
+			}
+			if ca.QuarantinedTo != "" {
+				if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+					t.Fatalf("cut %d: quarantined file still at original path", cut)
+				}
+			}
+			continue
+		}
+		if ck.Len() > full {
+			t.Fatalf("cut %d: recovered %d entries from a %d-entry file", cut, ck.Len(), full)
+		}
+		recovered := reg.Counter("durability.prefix_recovered").Value()
+		// A cut inside the header record's CRC trailer can leave a pure
+		// JSON document, which loads as an (empty) legacy file — still
+		// obs-visible, via durability.legacy_loads instead.
+		legacy := reg.Counter("durability.legacy_loads").Value()
+		if cut < len(data) && !bounds[cut] && recovered == 0 && legacy == 0 {
+			t.Fatalf("cut %d: torn load with no prefix_recovered/legacy_loads counter", cut)
+		}
+		if cut == len(data) && (recovered != 0 || ck.Len() != full) {
+			t.Fatalf("intact file: recovered=%d len=%d", recovered, ck.Len())
+		}
+	}
+
+	// A tear through the last record must resume to the reference result
+	// from the surviving prefix.
+	p := filepath.Join(t.TempDir(), "ck")
+	if err := os.WriteFile(p, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c := cfg
+	c.Obs = reg
+	ck, err := OpenCheckpoint(p, c)
+	if err != nil {
+		t.Fatalf("torn tail: %v", err)
+	}
+	if ck.Len() != full-1 {
+		t.Fatalf("torn tail recovered %d entries, want %d", ck.Len(), full-1)
+	}
+	c.Checkpoint = ck
+	res, err := ExploreContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, ref, res)
+	if reg.Counter("dse.checkpoint.restored").Value() != int64(full-1) {
+		t.Fatalf("restored %d, want %d", reg.Counter("dse.checkpoint.restored").Value(), full-1)
+	}
+}
+
+// TestCheckpointLegacyFormatRoundTrip pins backward compatibility: a
+// whole-document pre-CRC file still loads (with the one-time legacy obs
+// event), feeds a byte-identical resume, and the next flush rewrites it
+// into the framed format exactly as a never-legacy run would have.
+func TestCheckpointLegacyFormatRoundTrip(t *testing.T) {
+	cfg, ref, framed := recordedCheckpoint(t)
+	f, rec, err := decodeCheckpointData(framed)
+	if err != nil || rec.Torn || rec.Legacy {
+		t.Fatalf("decode framed: %v (recovery %+v)", err, rec)
+	}
+
+	legacy, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "legacy.ckpt")
+	if err := os.WriteFile(p, append(legacy, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	legacyEvents := 0
+	reg.Subscribe(func(ev obs.Event) {
+		if ev.Kind == "warning" && bytes.Contains([]byte(ev.Msg), []byte("legacy")) {
+			legacyEvents++
+		}
+	})
+	c := cfg
+	c.Obs = reg
+	ck, err := OpenCheckpoint(p, c)
+	if err != nil {
+		t.Fatalf("legacy open: %v", err)
+	}
+	if ck.Len() != 2 {
+		t.Fatalf("legacy load holds %d entries, want 2", ck.Len())
+	}
+	if got := reg.Counter("durability.legacy_loads").Value(); got != 1 {
+		t.Fatalf("durability.legacy_loads = %d, want 1", got)
+	}
+	if legacyEvents != 1 {
+		t.Fatalf("legacy obs events = %d, want 1", legacyEvents)
+	}
+
+	c.Checkpoint = ck
+	res, err := ExploreContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, ref, res)
+
+	// The run's final flush upgrades the file to the framed format,
+	// byte-identical to the never-legacy original.
+	upgraded, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(upgraded, framed) {
+		t.Fatalf("upgraded file differs from framed original:\n%q\nvs\n%q", upgraded, framed)
+	}
+	reg2 := obs.NewRegistry()
+	c2 := cfg
+	c2.Obs = reg2
+	if _, err := OpenCheckpoint(p, c2); err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Counter("durability.legacy_loads").Value() != 0 {
+		t.Fatal("upgraded file still loads as legacy")
+	}
+}
+
+// TestCheckpointQuarantine feeds OpenCheckpoint an irrecoverable file:
+// the open must return the typed quarantine error, move the file to
+// *.corrupt, count it, and hand back a usable fresh checkpoint.
+func TestCheckpointQuarantine(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "dse.ckpt")
+	if err := os.WriteFile(p, []byte("{ this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := twoCandConfig(t)
+	cfg.Obs = reg
+	ck, err := OpenCheckpoint(p, cfg)
+	var ca *durable.CorruptArtifactError
+	if !errors.As(err, &ca) {
+		t.Fatalf("err = %T (%v), want *durable.CorruptArtifactError", err, err)
+	}
+	var cc *CheckpointCorruptError
+	if !errors.As(err, &cc) {
+		t.Fatal("CorruptArtifactError does not wrap CheckpointCorruptError")
+	}
+	if ca.QuarantinedTo != p+".corrupt" {
+		t.Fatalf("quarantined to %q", ca.QuarantinedTo)
+	}
+	if _, serr := os.Stat(ca.QuarantinedTo); serr != nil {
+		t.Fatalf("quarantine file: %v", serr)
+	}
+	if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+		t.Fatal("corrupt file still at original path")
+	}
+	if reg.Counter("durability.quarantined").Value() != 1 {
+		t.Fatalf("durability.quarantined = %d, want 1", reg.Counter("durability.quarantined").Value())
+	}
+	if ck == nil || ck.Len() != 0 {
+		t.Fatalf("no usable fresh checkpoint: %v", ck)
+	}
+	// The fresh checkpoint writes to the original path again.
+	cfg.Checkpoint = ck
+	if _, err := ExploreContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := os.Stat(p); serr != nil {
+		t.Fatalf("fresh checkpoint not rewritten: %v", serr)
+	}
+}
+
+// TestCheckpointBitFlipCRC flips one payload byte inside a recorded
+// checkpoint: the CRC must catch it (durability.crc_fail), and the load
+// must keep exactly the records before the damage.
+func TestCheckpointBitFlipCRC(t *testing.T) {
+	cfg, _, data := recordedCheckpoint(t)
+	// Flip a byte in the middle of the last record's payload.
+	mut := append([]byte(nil), data...)
+	last := bytes.LastIndexByte(mut[:len(mut)-1], '\n') // start of final record
+	mut[last+10] ^= 0x20
+	p := filepath.Join(t.TempDir(), "ck")
+	if err := os.WriteFile(p, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c := cfg
+	c.Obs = reg
+	ck, err := OpenCheckpoint(p, c)
+	if err != nil {
+		t.Fatalf("bit-flipped open: %v", err)
+	}
+	if ck.Len() != 1 {
+		t.Fatalf("recovered %d entries, want 1", ck.Len())
+	}
+	if reg.Counter("durability.crc_fail").Value() == 0 {
+		t.Fatal("no durability.crc_fail count")
+	}
+	if reg.Counter("durability.prefix_recovered").Value() == 0 {
+		t.Fatal("no durability.prefix_recovered count")
+	}
+}
+
+// FuzzOpenCheckpoint mirrors FuzzAnnotatorLoad for the checkpoint layer:
+// arbitrary bytes must never panic the open — every outcome is a clean
+// load, a typed mismatch, or a typed quarantine leaving a fresh usable
+// checkpoint.
+func FuzzOpenCheckpoint(f *testing.F) {
+	cfg, err := DefaultConfig()
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg.Width = 8
+	cfg.Buses = []int{2}
+	cfg.ALUCounts = []int{1}
+	cfg.CMPCounts = []int{1}
+	cfg.RFSets = [][]RFSpec{{{16, 2, 2}, {16, 1, 2}}}
+	cfg.Annotator = nil
+	if err := cfg.fillDefaults(); err != nil {
+		f.Fatal(err)
+	}
+
+	// Seed corpus: a real framed checkpoint (built by the real writer),
+	// its truncations and a bit-flip, a legacy whole-document file, and
+	// assorted garbage.
+	seedPath := filepath.Join(f.TempDir(), "seed.ckpt")
+	ck, err := OpenCheckpoint(seedPath, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ck.entries["k1|a"] = checkpointEntry{Feasible: true, Area: 100, Cycles: 7, Clock: 2.5, ExecTime: 17.5, TestCost: 42, FullScan: 40, Energy: 1.5}
+	ck.entries["k2|b"] = checkpointEntry{Reason: "infeasible: no route"}
+	if err := ck.FlushErr(); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:len(seed)-1])
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/3] ^= 0x08
+	f.Add(flipped)
+	var legacyFile checkpointFile
+	if lf, _, err := decodeCheckpointData(seed); err == nil {
+		legacyFile = lf
+	}
+	if legacy, err := json.MarshalIndent(&legacyFile, "", "  "); err == nil {
+		f.Add(append(legacy, '\n'))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte("not a checkpoint at all"))
+	f.Add([]byte(fmt.Sprintf("{\"x\":1} #c=%08x\n", durable.Checksum([]byte(`{"x":1}`)))))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fz.ckpt")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := OpenCheckpoint(p, cfg)
+		if ck == nil {
+			t.Fatal("nil checkpoint")
+		}
+		if err == nil {
+			return // clean load (fresh, legacy, or prefix-recovered)
+		}
+		var mm *CheckpointMismatchError
+		var cc *CheckpointCorruptError
+		if !errors.As(err, &mm) && !errors.As(err, &cc) {
+			t.Fatalf("untyped error %T: %v", err, err)
+		}
+		if errors.As(err, &cc) && ck.Len() != 0 {
+			t.Fatalf("corrupt open kept %d entries", ck.Len())
+		}
+		var ca *durable.CorruptArtifactError
+		if errors.As(err, &ca) && ca.QuarantinedTo != "" {
+			if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+				t.Fatal("quarantined file still present at original path")
+			}
+		}
+	})
+}

@@ -12,7 +12,6 @@ package dse
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
@@ -176,9 +175,17 @@ func mergeShardFiles(cfg *Config, paths []string, archs []*tta.Architecture, res
 		if err != nil {
 			return &ShardMergeError{Path: path, Reason: "read", Err: err}
 		}
-		var f checkpointFile
-		if err := json.Unmarshal(data, &f); err != nil {
-			return &ShardMergeError{Path: path, Reason: "decode", Err: err}
+		f, rec, derr := decodeCheckpointData(data)
+		if derr != nil {
+			return &ShardMergeError{Path: path, Reason: "decode", Err: derr}
+		}
+		if rec.Torn {
+			// A worker whose final flush succeeded leaves a fully valid
+			// file; a torn one means the worker died mid-write. The merge
+			// demands completeness, so surface the tear with a resume hint
+			// instead of a confusing missing-entry error downstream.
+			return &ShardMergeError{Path: path, Reason: fmt.Sprintf(
+				"torn file (%s) — resume that worker from this checkpoint, then merge again", rec.Cause)}
 		}
 		for _, m := range []struct{ field, want, got string }{
 			{"format version", fmt.Sprint(want.Version), fmt.Sprint(f.Version)},

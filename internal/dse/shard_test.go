@@ -226,9 +226,9 @@ func TestShardIncompleteThenResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var f checkpointFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		t.Fatal(err)
+	f, rec, err := decodeCheckpointData(data)
+	if err != nil || rec.Torn {
+		t.Fatalf("decode shard 0: %v (recovery %+v)", err, rec)
 	}
 	if len(f.Entries) != 2 {
 		t.Fatalf("shard 0 holds %d entries, want 2", len(f.Entries))
@@ -237,7 +237,7 @@ func TestShardIncompleteThenResume(t *testing.T) {
 		delete(f.Entries, k)
 		break
 	}
-	trunc, err := json.Marshal(&f)
+	trunc, err := encodeCheckpoint(f)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,6 +73,9 @@ func (d *Duration) UnmarshalJSON(data []byte) error {
 // Std returns the value as a time.Duration.
 func (d Duration) Std() time.Duration { return time.Duration(d) }
 
+// String renders the value like time.Duration ("150ms", "2m30s").
+func (d Duration) String() string { return time.Duration(d).String() }
+
 // Spec is one exploration job, fully serializable. The zero value
 // describes the paper's default study (crypt workload, full 288-candidate
 // space, equal-weight Euclidean selection, no budgets).
@@ -160,9 +163,38 @@ type ShardSpec struct {
 	// Shards is the number of worker processes (>= 1).
 	Shards int `json:"shards"`
 
-	// MaxRestarts bounds how many times each crashed worker is restarted
-	// and resumed from its own shard checkpoint (0 = the default, 2).
+	// MaxRestarts bounds how many times each worker is restarted — after
+	// a crash or a stall kill alike — and resumed from its own shard
+	// checkpoint (0 = the default, 2). When RestartWindow is set the
+	// budget applies per sliding window instead of per worker lifetime.
 	MaxRestarts int `json:"max_restarts,omitempty"`
+
+	// StallTimeout is how long a worker may stay silent (no event, no
+	// heartbeat on its NDJSON pipe) before the coordinator kills and
+	// restarts it — the hang-detection analogue of a crash. 0 takes the
+	// default (2m); negative disables stall detection entirely.
+	StallTimeout Duration `json:"stall_timeout,omitempty"`
+
+	// HeartbeatInterval is how often an otherwise quiet worker writes a
+	// heartbeat event, proving process liveness to the coordinator's
+	// stall watchdog. 0 takes the default (StallTimeout/4).
+	HeartbeatInterval Duration `json:"heartbeat_interval,omitempty"`
+
+	// BackoffBase and BackoffMax shape the deterministic exponential
+	// backoff between restarts of the same worker: the nth restart waits
+	// min(BackoffMax, BackoffBase<<n) plus seeded jitter. Zero values
+	// take the defaults (250ms base, 10s max) — a poisoned worker binary
+	// backs off instead of hot-looping through its budget in
+	// milliseconds.
+	BackoffBase Duration `json:"backoff_base,omitempty"`
+	BackoffMax  Duration `json:"backoff_max,omitempty"`
+
+	// RestartWindow, when positive, turns MaxRestarts into a sliding-
+	// window budget: only restarts within the last RestartWindow count
+	// against it, so a long-running worker survives occasional faults
+	// while a crash-looping one still fails the job fast. 0 keeps the
+	// lifetime budget.
+	RestartWindow Duration `json:"restart_window,omitempty"`
 }
 
 // MaxShards caps ShardSpec.Shards: each shard is a full OS process, so
@@ -179,6 +211,19 @@ func (s *ShardSpec) Validate() error {
 	}
 	if s.MaxRestarts < 0 {
 		return fmt.Errorf("jobspec: shard max_restarts %d is negative (use 0 for the default)", s.MaxRestarts)
+	}
+	if s.HeartbeatInterval < 0 {
+		return fmt.Errorf("jobspec: shard heartbeat_interval %s is negative (use 0 for the default)", s.HeartbeatInterval)
+	}
+	if s.StallTimeout > 0 && s.HeartbeatInterval > s.StallTimeout {
+		return fmt.Errorf("jobspec: shard heartbeat_interval %s exceeds stall_timeout %s — every worker would be killed as stalled",
+			s.HeartbeatInterval, s.StallTimeout)
+	}
+	if s.BackoffBase < 0 || s.BackoffMax < 0 || s.RestartWindow < 0 {
+		return fmt.Errorf("jobspec: shard backoff/restart-window durations must not be negative")
+	}
+	if s.BackoffBase > 0 && s.BackoffMax > 0 && s.BackoffBase > s.BackoffMax {
+		return fmt.Errorf("jobspec: shard backoff_base %s exceeds backoff_max %s", s.BackoffBase, s.BackoffMax)
 	}
 	return nil
 }

@@ -211,5 +211,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func aggregatedMetric(name string) bool {
-	return strings.HasPrefix(name, "pareto.stream.") || strings.HasPrefix(name, "dse.shard.")
+	return strings.HasPrefix(name, "pareto.stream.") || strings.HasPrefix(name, "dse.shard.") ||
+		strings.HasPrefix(name, "durability.")
 }

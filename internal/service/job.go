@@ -187,6 +187,7 @@ func (s *Server) run(job *Job) {
 			// Mismatched or corrupt files yield a fresh checkpoint; the
 			// job proceeds cold and overwrites the file.
 			s.reg.Counter("service.checkpoint.open_errors").Inc()
+			job.reg.Counter("durability.cold_restarts").Inc()
 			job.reg.Emit(obs.Event{Kind: "warning", Msg: ckErr.Error()})
 		}
 		cfg.Checkpoint = ck
@@ -203,7 +204,9 @@ func (s *Server) run(job *Job) {
 	runErr := study.ExploreContext(runCtx)
 	// The exploration flushes on completion; an interrupted one must
 	// persist its tail explicitly or the drain loses up to 15 entries.
-	cfg.Checkpoint.Flush()
+	// The durable form: a drained daemon's checkpoint is a deliverable
+	// (the restart resumes from it), so its rename is dir-fsynced too.
+	_ = cfg.Checkpoint.FlushErr()
 
 	report := buildReport(study, sel)
 	if runErr == nil {

@@ -10,23 +10,39 @@
 // workers' newly annotated components are merged back into the shared
 // annotator, so later jobs warm-start from the whole fan-out's work.
 //
+// Supervision covers hangs as well as crashes: every line a worker
+// writes (candidate events, or explicit heartbeats when the shard is
+// quiet) resets a per-worker stall watchdog, and a worker silent past
+// ShardSpec.StallTimeout is killed and restarted exactly like a crash —
+// the two paths are told apart in the "dse.shard.stall_kills" vs
+// "dse.shard.restarts_crash" counters ("dse.shard.restarts" stays the
+// total). Restarts are paced by deterministic exponential backoff
+// (seeded jitter, so two coordinators replay the same schedule) and
+// bounded by MaxRestarts, per worker lifetime or per RestartWindow.
+//
 // The worker side (ShardWorkerMain) is the same binary: cmd/ttadsed
 // dispatches "-shard-worker" to it before flag parsing. A worker is an
 // ordinary cancellable exploration with Config.Shard set; its product
 // is its shard checkpoint file, its stdout is the event stream, and a
 // non-zero exit tells the coordinator to restart it (the checkpoint
-// makes the restart a resume, not a redo).
+// makes the restart a resume, not a redo). Workers arm their own fault
+// injector from TTADSE_FAULT_INJECT / TTADSE_FAULT_INJECT_ONCE* in the
+// environment (see armWorkerFaults) — the cross-process chaos channel,
+// since a live *faultinject.Injector cannot survive an exec.
 package service
 
 import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io/fs"
+	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -34,18 +50,114 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/faultinject"
 	"repro/internal/jobspec"
 	"repro/internal/obs"
 	"repro/internal/testcost"
 )
 
-// DefaultMaxRestarts is how many times a crashed shard worker is
-// restarted (and resumed from its checkpoint) when the spec leaves
-// ShardSpec.MaxRestarts zero.
+// DefaultMaxRestarts is how many times a crashed (or stall-killed)
+// shard worker is restarted (and resumed from its checkpoint) when the
+// spec leaves ShardSpec.MaxRestarts zero.
 const DefaultMaxRestarts = 2
+
+// DefaultStallTimeout is how long a worker may stay silent before the
+// stall watchdog kills it, when the spec leaves ShardSpec.StallTimeout
+// zero. Negative spec values disable stall detection.
+const DefaultStallTimeout = 2 * time.Minute
+
+// Default restart backoff shape (see ShardSpec.BackoffBase/BackoffMax).
+const (
+	DefaultBackoffBase = 250 * time.Millisecond
+	DefaultBackoffMax  = 10 * time.Second
+)
+
+// supervision is the resolved per-fan-out watchdog and restart policy.
+type supervision struct {
+	stall       time.Duration // 0 = disabled
+	heartbeat   time.Duration // 0 = workers emit no heartbeats
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	window      time.Duration // 0 = lifetime restart budget
+	maxRestarts int
+}
+
+// resolveSupervision fills a ShardSpec's supervision knobs with their
+// documented defaults.
+func resolveSupervision(sh *jobspec.ShardSpec) supervision {
+	sup := supervision{
+		stall:       sh.StallTimeout.Std(),
+		heartbeat:   sh.HeartbeatInterval.Std(),
+		backoffBase: sh.BackoffBase.Std(),
+		backoffMax:  sh.BackoffMax.Std(),
+		window:      sh.RestartWindow.Std(),
+		maxRestarts: sh.MaxRestarts,
+	}
+	if sup.maxRestarts == 0 {
+		sup.maxRestarts = DefaultMaxRestarts
+	}
+	if sup.stall == 0 {
+		sup.stall = DefaultStallTimeout
+	} else if sup.stall < 0 {
+		sup.stall = 0
+	}
+	if sup.heartbeat == 0 && sup.stall > 0 {
+		sup.heartbeat = sup.stall / 4
+	}
+	if sup.backoffBase == 0 {
+		sup.backoffBase = DefaultBackoffBase
+	}
+	if sup.backoffMax == 0 {
+		sup.backoffMax = DefaultBackoffMax
+	}
+	if sup.backoffBase > sup.backoffMax {
+		sup.backoffBase = sup.backoffMax
+	}
+	return sup
+}
+
+// backoffDelay is the pause before restart number n (0-based) of one
+// worker: min(max, base<<n) plus up to 50% seeded jitter, so a fleet of
+// workers dying together does not restart in lockstep yet any given
+// coordinator replays the same schedule.
+func backoffDelay(n int, sup supervision, rng *rand.Rand) time.Duration {
+	d := sup.backoffMax
+	if shifted := sup.backoffBase << uint(min(n, 30)); shifted > 0 && shifted < d {
+		d = shifted
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// backoffSeed derives the deterministic jitter seed of one worker's
+// restart schedule from the job identity and the shard index.
+func backoffSeed(hash string, index int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(hash))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(index))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// WorkerStallError reports a shard worker the coordinator killed
+// because its event pipe stayed silent past the stall timeout — the
+// hang-detection analogue of a crash, counted separately from one.
+type WorkerStallError struct {
+	Index, Shards int
+	Timeout       time.Duration
+	Err           error // the kill's exit error, for the curious
+}
+
+func (e *WorkerStallError) Error() string {
+	return fmt.Sprintf("service: shard %d/%d worker silent for %v, killed by the stall watchdog",
+		e.Index, e.Shards, e.Timeout)
+}
+
+func (e *WorkerStallError) Unwrap() error { return e.Err }
 
 // shardCheckpointPath names shard i's checkpoint inside the work dir.
 func shardCheckpointPath(dir, hash string, i, n int) string {
@@ -89,10 +201,7 @@ func (s *Server) runSharded(job *Job) {
 
 	hash := job.Spec.Hash()
 	n := job.Spec.Shard.Shards
-	maxRestarts := job.Spec.Shard.MaxRestarts
-	if maxRestarts == 0 {
-		maxRestarts = DefaultMaxRestarts
-	}
+	sup := resolveSupervision(job.Spec.Shard)
 
 	// The worker spec is the job minus everything the coordinator owns:
 	// the fan-out itself, cache and checkpoint paths (per-shard, passed
@@ -142,9 +251,11 @@ func (s *Server) runSharded(job *Job) {
 			defer wg.Done()
 			ckpt := shardCheckpointPath(workDir, hash, i, n)
 			cacheOut := shardCachePath(workDir, hash, i, n)
+			rng := rand.New(rand.NewSource(backoffSeed(hash, i)))
+			var restarts []time.Time // actual restarts, for the window budget
 			for attempt := 0; ; attempt++ {
 				workersGauge.Set(float64(live.Add(1)))
-				err := s.runShardWorkerOnce(runCtx, job, &seq, specPath, seedCache, ckpt, cacheOut, i, n)
+				err := s.runShardWorkerOnce(runCtx, job, &seq, specPath, seedCache, ckpt, cacheOut, i, n, sup)
 				workersGauge.Set(float64(live.Add(-1)))
 				if err == nil {
 					return
@@ -153,14 +264,42 @@ func (s *Server) runSharded(job *Job) {
 					werrs[i] = context.Cause(runCtx)
 					return
 				}
-				if attempt >= maxRestarts {
+				if sup.window > 0 {
+					// Sliding-window budget: only recent restarts count, so a
+					// long-lived worker survives occasional faults while a
+					// crash loop still exhausts the budget fast.
+					cutoff := time.Now().Add(-sup.window)
+					for len(restarts) > 0 && restarts[0].Before(cutoff) {
+						restarts = restarts[1:]
+					}
+				}
+				if len(restarts) >= sup.maxRestarts {
 					werrs[i] = err
 					return
 				}
+				restarts = append(restarts, time.Now())
+				var stall *WorkerStallError
+				cause := "died"
+				if errors.As(err, &stall) {
+					cause = "stalled"
+					job.reg.Counter("dse.shard.stall_kills").Inc()
+				} else {
+					job.reg.Counter("dse.shard.restarts_crash").Inc()
+				}
 				job.reg.Counter("dse.shard.restarts").Inc()
 				job.sink(dse.Event{Kind: dse.EventWarning, Seq: seq.Add(1),
-					Msg: fmt.Sprintf("shard %d/%d worker died (attempt %d of %d), resuming from its checkpoint: %v",
-						i, n, attempt+1, maxRestarts+1, err)})
+					Msg: fmt.Sprintf("shard %d/%d worker %s (attempt %d of %d), resuming from its checkpoint: %v",
+						i, n, cause, attempt+1, sup.maxRestarts+1, err)})
+				delay := backoffDelay(len(restarts)-1, sup, rng)
+				job.reg.Counter("dse.shard.backoff_ns").Add(int64(delay))
+				t := time.NewTimer(delay)
+				select {
+				case <-runCtx.Done():
+					t.Stop()
+					werrs[i] = context.Cause(runCtx)
+					return
+				case <-t.C:
+				}
 			}
 		}(i)
 	}
@@ -226,9 +365,11 @@ func (s *Server) runSharded(job *Job) {
 // runShardWorkerOnce execs one worker process, forwards its NDJSON
 // event stream into the job's sink, and returns the worker's failure
 // (exit status plus a stderr tail) if any. Worker "done" events are
-// swallowed — the merge emits the job's single terminal event.
+// swallowed — the merge emits the job's single terminal event — and so
+// are "heartbeat" (pure liveness: any line resets the stall watchdog)
+// and "counter" events (folded into the job registry instead).
 func (s *Server) runShardWorkerOnce(ctx context.Context, job *Job, seq *atomic.Int64,
-	specPath, seedCache, ckpt, cacheOut string, index, shards int) error {
+	specPath, seedCache, ckpt, cacheOut string, index, shards int, sup supervision) error {
 	argv := s.opts.ShardWorkerCommand
 	if len(argv) == 0 {
 		argv = []string{os.Args[0], "-shard-worker"}
@@ -243,7 +384,20 @@ func (s *Server) runShardWorkerOnce(ctx context.Context, job *Job, seq *atomic.I
 	if seedCache != "" {
 		args = append(args, "-cache", seedCache)
 	}
-	cmd := exec.CommandContext(ctx, argv[0], args...)
+	if sup.heartbeat > 0 {
+		args = append(args, "-heartbeat", sup.heartbeat.String())
+	}
+
+	// The stall watchdog cancels the worker's context — killing the
+	// process — when no stdout line has arrived for sup.stall. The
+	// stalled flag tells that kill apart from a parent cancellation.
+	wctx, cancel := ctx, context.CancelFunc(func() {})
+	var stalled atomic.Bool
+	if sup.stall > 0 {
+		wctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(wctx, argv[0], args...)
 	cmd.Env = append(os.Environ(), s.opts.ShardWorkerEnv...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -254,9 +408,20 @@ func (s *Server) runShardWorkerOnce(ctx context.Context, job *Job, seq *atomic.I
 	if err := cmd.Start(); err != nil {
 		return err
 	}
+	var watchdog *time.Timer
+	if sup.stall > 0 {
+		watchdog = time.AfterFunc(sup.stall, func() {
+			stalled.Store(true)
+			cancel()
+		})
+		defer watchdog.Stop()
+	}
 	sc := bufio.NewScanner(stdout)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
+		if watchdog != nil {
+			watchdog.Reset(sup.stall)
+		}
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -265,8 +430,20 @@ func (s *Server) runShardWorkerOnce(ctx context.Context, job *Job, seq *atomic.I
 		if err := json.Unmarshal(line, &ev); err != nil {
 			continue // not an event line (worker chatter); drop
 		}
-		if ev.Kind == dse.EventDone {
+		switch ev.Kind {
+		case dse.EventDone, dse.EventHeartbeat:
 			continue
+		case dse.EventCounter:
+			if ev.Code != "" {
+				job.reg.Counter(ev.Code).Add(max(int64(ev.N), 1))
+			}
+			continue
+		}
+		if ev.Code != "" {
+			// A coded warning doubles as a counter increment, so worker
+			// warnings are queryable in /v1/metrics, not only readable in
+			// the event stream.
+			job.reg.Counter(ev.Code).Inc()
 		}
 		// Re-stamp: each worker numbers its own stream from 1; the job's
 		// stream needs one monotone sequence across all of them.
@@ -275,6 +452,9 @@ func (s *Server) runShardWorkerOnce(ctx context.Context, job *Job, seq *atomic.I
 	}
 	scanErr := sc.Err()
 	if err := cmd.Wait(); err != nil {
+		if stalled.Load() && ctx.Err() == nil {
+			return &WorkerStallError{Index: index, Shards: shards, Timeout: sup.stall, Err: err}
+		}
 		if msg := stderrTail(&stderr); msg != "" {
 			return fmt.Errorf("%w: %s", err, msg)
 		}
@@ -311,17 +491,68 @@ func ShardWorkerMain(args []string) int {
 	ckpt := fs.String("checkpoint", "", "shard checkpoint file (the worker's product)")
 	cache := fs.String("cache", "", "seed annotation cache, read-only warm start (optional)")
 	cacheOut := fs.String("cache-out", "", "file for this shard's new annotations (optional)")
+	heartbeat := fs.Duration("heartbeat", 0, "liveness heartbeat interval on the event stream (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := runShardWorker(*specPath, *shards, *index, *ckpt, *cache, *cacheOut); err != nil {
+	if err := runShardWorker(*specPath, *shards, *index, *ckpt, *cache, *cacheOut, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	return 0
 }
 
-func runShardWorker(specPath string, shards, index int, ckptPath, cachePath, cacheOut string) error {
+// Environment variables arming fault injection inside shard worker
+// processes (a live *faultinject.Injector cannot cross an exec):
+//
+//	TTADSE_FAULT_INJECT        a faultinject.ParsePlans spec armed in
+//	                           every worker process, restarts included.
+//	TTADSE_FAULT_INJECT_ONCE*  "markerfile|spec" — armed only in the one
+//	                           process, across the whole fan-out, that
+//	                           atomically claims the marker file. Each
+//	                           process claims at most one such fault, so
+//	                           several ONCE variables land on distinct
+//	                           workers; a restarted worker finds its
+//	                           marker claimed and runs clean.
+const (
+	faultInjectEnv     = "TTADSE_FAULT_INJECT"
+	faultInjectOnceEnv = "TTADSE_FAULT_INJECT_ONCE"
+)
+
+// armWorkerFaults arms a worker's injector from the environment. See
+// the faultInjectEnv docs for the variable grammar.
+func armWorkerFaults(inj *faultinject.Injector) error {
+	if spec := os.Getenv(faultInjectEnv); spec != "" {
+		if err := inj.ArmSpec(spec); err != nil {
+			return err
+		}
+	}
+	for _, kv := range os.Environ() {
+		name, val, _ := strings.Cut(kv, "=")
+		if !strings.HasPrefix(name, faultInjectOnceEnv) || val == "" {
+			continue
+		}
+		marker, spec, ok := strings.Cut(val, "|")
+		if !ok {
+			return fmt.Errorf("service: %s=%q: want markerfile|spec", name, val)
+		}
+		f, err := os.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			if errors.Is(err, fs.ErrExist) {
+				continue // another process claimed this fault
+			}
+			return err
+		}
+		f.Close()
+		if err := inj.ArmSpec(spec); err != nil {
+			return err
+		}
+		break // one once-fault per process, so faults spread over workers
+	}
+	return nil
+}
+
+func runShardWorker(specPath string, shards, index int, ckptPath, cachePath, cacheOut string, heartbeat time.Duration) error {
 	if specPath == "" || ckptPath == "" {
 		return errors.New("service: shard worker needs -spec and -checkpoint")
 	}
@@ -340,41 +571,108 @@ func runShardWorker(specPath string, shards, index int, ckptPath, cachePath, cac
 	cfg.Shard = &dse.ShardRange{Count: shards, Index: index}
 	cfg.Obs = obs.NewRegistry()
 
-	ann := testcost.NewAnnotator(cfg.Width, cfg.Seed)
-	ann.Obs = cfg.Obs
-	ann.ATPGDeadline = spec.ATPGDeadline.Std()
-	if cachePath != "" {
-		if err := ann.LoadFile(cachePath); err != nil && !errors.Is(err, fs.ErrNotExist) {
-			fmt.Fprintf(os.Stderr, "warning: seed cache %s not loaded: %v\n", cachePath, err)
-		}
+	inj := faultinject.New(int64(index) + 1)
+	if err := armWorkerFaults(inj); err != nil {
+		return err
 	}
-	cfg.Annotator = ann
+	cfg.Inject = inj
+	// The worker-birth injection point, before anything is written to
+	// stdout: a ModeStall here makes the process genuinely silent, so
+	// only the coordinator's watchdog can end it.
+	if err := inj.Hit(faultinject.ShardWorker); err != nil {
+		return err
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	var mu sync.Mutex
-	cfg.EventSink = func(ev dse.Event) {
+	emit := func(ev dse.Event) {
 		mu.Lock()
 		enc.Encode(&ev) // best-effort stream; a dead coordinator kills us anyway
 		mu.Unlock()
 	}
+	cfg.EventSink = emit
+
+	// Heartbeats prove process liveness to the coordinator's stall
+	// watchdog through gaps with no candidate traffic (the seed cache
+	// load, a huge restored prefix, a slow ATPG run). Any line resets
+	// the watchdog; heartbeats just guarantee lines keep coming. They
+	// start after the worker-birth injection point above — a stalled
+	// worker must stay genuinely silent.
+	if heartbeat > 0 {
+		hbStop := make(chan struct{})
+		var hbDone sync.WaitGroup
+		hbDone.Add(1)
+		go func() {
+			defer hbDone.Done()
+			t := time.NewTicker(heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					emit(dse.Event{Kind: dse.EventHeartbeat})
+				}
+			}
+		}()
+		defer func() {
+			close(hbStop)
+			hbDone.Wait()
+		}()
+	}
+
+	ann := testcost.NewAnnotator(cfg.Width, cfg.Seed)
+	ann.Obs = cfg.Obs
+	ann.Inject = inj
+	ann.ATPGDeadline = spec.ATPGDeadline.Std()
+	if cachePath != "" {
+		if err := ann.LoadFile(cachePath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			emit(dse.Event{Kind: dse.EventWarning, Code: "dse.shard.seed_cache_errors",
+				Msg: fmt.Sprintf("shard %d/%d: seed cache %s not loaded: %v", index, shards, cachePath, err)})
+		}
+	}
+	cfg.Annotator = ann
 
 	ck, ckErr := dse.OpenCheckpoint(ckptPath, cfg)
 	if ck == nil {
 		return ckErr
 	}
 	if ckErr != nil {
-		fmt.Fprintf(os.Stderr, "warning: checkpoint %s restarted cold: %v\n", ckptPath, ckErr)
+		emit(dse.Event{Kind: dse.EventWarning, Code: "durability.cold_restarts",
+			Msg: fmt.Sprintf("shard %d/%d: checkpoint %s restarted cold: %v", index, shards, ckptPath, ckErr)})
 	}
 	cfg.Checkpoint = ck
 
+	// The cache load and checkpoint open above may have counted
+	// durability incidents (prefix recoveries, quarantines, legacy
+	// loads) on the worker-local registry; relay them to the
+	// coordinator, which folds them into the job registry.
+	relayCounters(cfg.Obs, "durability.", emit)
+
 	_, runErr := dse.ExploreContext(context.Background(), cfg)
 	// A complete shard flushed on its way out; a partial one must
-	// persist its tail so the restart resumes instead of redoing.
-	ck.Flush()
+	// persist its tail so the restart resumes instead of redoing. A
+	// failed final flush fails the worker: exiting 0 behind a torn
+	// checkpoint would hand the merge a truncated shard, while exiting 1
+	// gets this worker restarted to write it properly.
+	if err := ck.FlushErr(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if cacheOut != "" {
 		if err := ann.SaveFile(cacheOut); err != nil && runErr == nil {
 			runErr = err
 		}
 	}
 	return runErr
+}
+
+// relayCounters emits one "counter" event per non-zero counter under
+// prefix, carrying worker-local metrics across the process boundary.
+func relayCounters(reg *obs.Registry, prefix string, emit func(dse.Event)) {
+	snap := reg.Snapshot()
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, prefix) && v > 0 {
+			emit(dse.Event{Kind: dse.EventCounter, Code: name, N: int(v)})
+		}
+	}
 }

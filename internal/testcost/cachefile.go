@@ -9,6 +9,16 @@
 // algorithm. A header mismatch invalidates the whole file — Load reports
 // it as a *CacheMismatchError and leaves the annotator cold, never mixing
 // stale entries into a fresh run.
+//
+// On disk the cache uses the same CRC32C record framing as dse
+// checkpoints (package durable): one compact header record, then one
+// record per annotation in sorted key order, written through an
+// fsync-before-rename atomic path. A torn or bit-flipped file warm-loads
+// its longest valid record prefix (the cache is an optimization — a
+// shorter prefix just means a few re-measured annotations); files with
+// no usable prefix load cold with a typed error, and LoadFile quarantines
+// them to *.corrupt. Pre-framing whole-document files still load, flagged
+// by a one-time legacy-format obs event.
 package testcost
 
 import (
@@ -19,9 +29,12 @@ import (
 	"io/fs"
 	"math"
 	"os"
+	"sort"
 
+	"repro/internal/durable"
 	"repro/internal/faultinject"
 	"repro/internal/gatelib"
+	"repro/internal/obs"
 )
 
 // CacheFormatVersion is the on-disk format version. Bump it whenever the
@@ -41,8 +54,17 @@ type cacheFile struct {
 	Sockets *socketCache `json:"sockets,omitempty"`
 
 	// Entries maps annotation-cache keys (e.g. "alu/16/ripple") to their
-	// back-annotated values.
-	Entries map[string]cacheEntry `json:"entries"`
+	// back-annotated values. Populated in the legacy whole-document
+	// format; empty in the framed header record (entries follow as
+	// records).
+	Entries map[string]cacheEntry `json:"entries,omitempty"`
+}
+
+// cacheRecord is one framed annotation record: the cache key and its
+// value, compact JSON on a single line.
+type cacheRecord struct {
+	Key   string     `json:"k"`
+	Entry cacheEntry `json:"e"`
 }
 
 // cacheEntry is one persisted annotation.
@@ -134,8 +156,21 @@ func (a *Annotator) Save(w io.Writer) error {
 	if err := a.Inject.Hit(faultinject.CacheWrite); err != nil {
 		return fmt.Errorf("testcost: writing annotation cache: %w", err)
 	}
-	if err := a.sockets(); err != nil {
+	data, err := a.encodeCache()
+	if err != nil {
 		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// encodeCache renders the annotator's cache in the framed on-disk
+// format: one compact header record (sockets included — they are forced
+// if not yet computed), then one record per annotation in sorted key
+// order — deterministic bytes for identical content.
+func (a *Annotator) encodeCache() ([]byte, error) {
+	if err := a.sockets(); err != nil {
+		return nil, err
 	}
 	f := cacheFile{
 		Version: CacheFormatVersion,
@@ -144,19 +179,31 @@ func (a *Annotator) Save(w io.Writer) error {
 		Seed:    a.Seed,
 		March:   a.March.String(),
 		Sockets: &socketCache{In: toEntry(a.sockIn), Out: toEntry(a.sockOut)},
-		Entries: make(map[string]cacheEntry),
 	}
+	head, err := json.Marshal(&f)
+	if err != nil {
+		return nil, err
+	}
+	buf := durable.AppendRecord(nil, head)
 	a.mu.Lock()
+	keys := make([]string, 0, len(a.cache))
 	for k, an := range a.cache {
 		if an.degraded {
 			continue
 		}
-		f.Entries[k] = toEntry(an)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p, err := json.Marshal(&cacheRecord{Key: k, Entry: toEntry(a.cache[k])})
+		if err != nil {
+			a.mu.Unlock()
+			return nil, err
+		}
+		buf = durable.AppendRecord(buf, p)
 	}
 	a.mu.Unlock()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&f) // map keys marshal sorted: the output is deterministic
+	return buf, nil
 }
 
 // Load populates the annotation cache from a warm-start file written by
@@ -171,9 +218,16 @@ func (a *Annotator) Load(r io.Reader) error {
 	if err := a.Inject.Hit(faultinject.CacheRead); err != nil {
 		return &CacheCorruptError{Reason: "read", Err: err}
 	}
-	var f cacheFile
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return &CacheCorruptError{Reason: "decode", Err: err}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return &CacheCorruptError{Reason: "read", Err: err}
+	}
+	f, rec, derr := decodeCacheData(data)
+	if rec.CRCFail {
+		a.Obs.Counter("durability.crc_fail").Inc()
+	}
+	if derr != nil {
+		return &CacheCorruptError{Reason: "decode", Err: derr}
 	}
 	for _, m := range []struct{ field, want, got string }{
 		{"format version", fmt.Sprint(CacheFormatVersion), fmt.Sprint(f.Version)},
@@ -217,33 +271,83 @@ func (a *Annotator) Load(r io.Reader) error {
 		}
 		a.sockWarm = true
 	}
+	if rec.Torn {
+		a.Obs.Counter("durability.prefix_recovered").Inc()
+		a.Obs.Emit(obs.Event{Kind: "warning", Msg: fmt.Sprintf(
+			"annotation cache was torn (%s); warm-loaded %d entries from the valid prefix", rec.Cause, loaded)})
+	}
+	if rec.Legacy {
+		a.Obs.Counter("durability.legacy_loads").Inc()
+		a.Obs.Emit(obs.Event{Kind: "warning", Msg:
+			"annotation cache is in the legacy (pre-CRC) format; the next save rewrites it framed"})
+	}
 	a.Obs.Counter("testcost.cache.loaded").Add(int64(loaded))
 	return nil
 }
 
-// SaveFile writes the cache to path (see Save).
+// decodeCacheData parses either cache format via durable.DecodeDocument;
+// see decodeCheckpointData in internal/dse for the twin.
+func decodeCacheData(data []byte) (cacheFile, durable.Recovery, error) {
+	var f cacheFile
+	rec, err := durable.DecodeDocument(data,
+		func(doc []byte) error { return json.Unmarshal(doc, &f) },
+		func(head []byte) error {
+			if err := json.Unmarshal(head, &f); err != nil {
+				return err
+			}
+			if f.Entries == nil {
+				f.Entries = make(map[string]cacheEntry)
+			}
+			return nil
+		},
+		func(p []byte) error {
+			var r cacheRecord
+			if err := json.Unmarshal(p, &r); err != nil {
+				return err
+			}
+			f.Entries[r.Key] = r.Entry
+			return nil
+		})
+	return f, rec, err
+}
+
+// SaveFile writes the cache to path through the crash-safe atomic path
+// (unique temp file, fsync, rename, directory fsync): a crash mid-save
+// leaves the previous cache intact, never a torn one.
 func (a *Annotator) SaveFile(path string) error {
-	f, err := os.Create(path)
+	data, err := a.encodeCache()
 	if err != nil {
 		return err
 	}
-	if err := a.Save(f); err != nil {
-		f.Close()
-		return err
+	if err := durable.WriteFileAtomic(path, data, a.Inject, faultinject.CacheWrite); err != nil {
+		return fmt.Errorf("testcost: writing annotation cache: %w", err)
 	}
-	return f.Close()
+	return nil
 }
 
 // LoadFile reads a warm-start cache from path (see Load). A missing file
 // is reported via the usual fs.ErrNotExist wrapping, so callers can treat
-// it as an ordinary cold start.
+// it as an ordinary cold start. A file Load rejects as corrupt (not a
+// read failure — those may be transient) is quarantined to *.corrupt and
+// reported as a *durable.CorruptArtifactError wrapping the
+// *CacheCorruptError, so the evidence survives while the run rewrites a
+// fresh cache.
 func (a *Annotator) LoadFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return a.Load(f)
+	err = a.Load(f)
+	f.Close()
+	var cc *CacheCorruptError
+	if errors.As(err, &cc) && cc.Reason != "read" {
+		q := durable.Quarantine(path)
+		a.Obs.Counter("durability.quarantined").Inc()
+		qerr := &durable.CorruptArtifactError{Artifact: "annotation cache", Path: path, QuarantinedTo: q, Err: cc}
+		a.Obs.Emit(obs.Event{Kind: "warning", Msg: qerr.Error()})
+		return qerr
+	}
+	return err
 }
 
 // MergeFiles unions the per-shard cache files of a sharded exploration

@@ -117,9 +117,9 @@ func TestCacheLoadMissingFile(t *testing.T) {
 
 func TestCacheHeaderMismatch(t *testing.T) {
 	_, blob := coldAnnotator(t)
-	var f cacheFile
-	if err := json.Unmarshal(blob, &f); err != nil {
-		t.Fatal(err)
+	f, rec, err := decodeCacheData(blob)
+	if err != nil || rec.Torn {
+		t.Fatalf("decode saved cache: %v (recovery %+v)", err, rec)
 	}
 	cases := []struct {
 		name   string
@@ -168,9 +168,9 @@ func TestLibraryKeyInFile(t *testing.T) {
 	// The persisted header must carry the live library generation, so a
 	// generator bump invalidates old files automatically.
 	_, blob := coldAnnotator(t)
-	var f cacheFile
-	if err := json.Unmarshal(blob, &f); err != nil {
-		t.Fatal(err)
+	f, rec, err := decodeCacheData(blob)
+	if err != nil || rec.Torn {
+		t.Fatalf("decode saved cache: %v (recovery %+v)", err, rec)
 	}
 	if f.Library != gatelib.LibraryKey || f.Version != CacheFormatVersion {
 		t.Fatalf("header %+v does not carry the live library key/version", f)
